@@ -1,0 +1,216 @@
+// Package dcs mines Density Contrast Subgraphs: given two undirected weighted
+// graphs G1 and G2 over the same vertex set, it finds the subgraph whose
+// density differs the most between them, implementing the algorithms of
+// Yang, Chu, Zhang, Wang, Pei & Chen, "Mining Density Contrast Subgraphs"
+// (ICDE 2018, arXiv:1802.06775).
+//
+// Two density measures are supported:
+//
+//   - Average degree ρ(S) = W(S)/|S| — maximize ρ2(S) − ρ1(S) with
+//     FindAverageDegreeDCS (the paper's DCSGreedy, an O(n)-approximation with
+//     a data-dependent ratio; the exact problem is NP-hard and
+//     O(n^(1−ε))-inapproximable).
+//   - Graph affinity f(x) = xᵀAx over the simplex — maximize f2(x) − f1(x)
+//     with FindGraphAffinityDCS (the paper's NewSEA: coordinate-descent
+//     shrink-and-expansion with smart initialization; the result is always a
+//     positive clique of the difference graph).
+//
+// Both reduce to mining the difference graph GD = G2 − G1, whose edge weights
+// may be negative. All of the paper's conventions are preserved; in
+// particular W(S) counts every undirected edge once per direction, so a
+// unit-weight k-clique has average degree k−1 and affinity 1−1/k.
+//
+// Typical use:
+//
+//	b1 := dcs.NewBuilder(n) // relations yesterday
+//	b2 := dcs.NewBuilder(n) // relations today
+//	... b1.AddEdge(u, v, w) ...
+//	res := dcs.FindGraphAffinityDCS(b1.Build(), b2.Build(), nil)
+//	fmt.Println(res.S, res.Affinity)
+//
+// To find subgraphs whose density *dropped*, swap the arguments. To mine a
+// pre-built signed graph (e.g. expected-vs-observed weights), use the *On
+// variants directly.
+package dcs
+
+import (
+	"github.com/dcslib/dcs/internal/core"
+	"github.com/dcslib/dcs/internal/egoscan"
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// Graph is an immutable undirected weighted graph over vertices [0, n). Edge
+// weights may be negative (difference graphs). Construct with NewBuilder or
+// FromEdges.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph; parallel edges merge by summing.
+type Builder = graph.Builder
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Neighbor is one adjacency-list entry.
+type Neighbor = graph.Neighbor
+
+// Stats summarizes a graph in the paper's Table II format.
+type Stats = graph.Stats
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a Graph with n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Difference returns the difference graph GD = G2 − G1: the graph whose
+// affinity matrix is A2 − A1. Both graphs must share the vertex count.
+func Difference(g1, g2 *Graph) *Graph { return graph.Difference(g1, g2) }
+
+// DifferenceAlpha returns GD = G2 − αG1, the generalized difference graph of
+// Section III-D; maximizing density on it finds S with ρ2(S) − αρ1(S)
+// maximized (an α-quasi-contrast).
+func DifferenceAlpha(g1, g2 *Graph, alpha float64) *Graph {
+	return graph.DifferenceAlpha(g1, g2, alpha)
+}
+
+// AverageDegreeResult is a DCS under the average-degree measure.
+type AverageDegreeResult = core.ADResult
+
+// GraphAffinityResult is a DCS under the graph-affinity measure.
+type GraphAffinityResult = core.GAResult
+
+// Options tunes the graph-affinity solvers; the zero value (or nil pointer)
+// matches the paper's experimental settings.
+type Options = core.GAOptions
+
+// ContrastClique is one positive clique found by the multi-initialization
+// affinity solver, used for top-k contrast mining.
+type ContrastClique = core.Clique
+
+// FindAverageDegreeDCS finds the subgraph maximizing ρ2(S) − ρ1(S) using
+// DCSGreedy on the difference graph G2 − G1. For subgraphs whose density
+// *decreased*, call FindAverageDegreeDCS(g2, g1).
+func FindAverageDegreeDCS(g1, g2 *Graph) AverageDegreeResult {
+	return core.DCSGreedy(graph.Difference(g1, g2))
+}
+
+// FindAverageDegreeDCSOn runs DCSGreedy directly on a pre-built (signed)
+// difference graph.
+func FindAverageDegreeDCSOn(gd *Graph) AverageDegreeResult {
+	return core.DCSGreedy(gd)
+}
+
+// FindGraphAffinityDCS finds the embedding maximizing x'A2x − x'A1x using
+// NewSEA on the difference graph G2 − G1. The result's support is always a
+// positive clique of GD (every pair inside strengthened its connection from
+// G1 to G2). Pass nil options for the paper's defaults.
+func FindGraphAffinityDCS(g1, g2 *Graph, opt *Options) GraphAffinityResult {
+	return FindGraphAffinityDCSOn(graph.Difference(g1, g2), opt)
+}
+
+// FindGraphAffinityDCSOn runs NewSEA directly on a pre-built difference
+// graph.
+func FindGraphAffinityDCSOn(gd *Graph, opt *Options) GraphAffinityResult {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	return core.NewSEA(gd, o)
+}
+
+// TopContrastCliques mines many density-contrast cliques at once: it runs the
+// coordinate-descent solver from every vertex of GD+, refines each result to
+// a positive clique, de-duplicates, removes cliques subsumed by larger ones
+// and returns them sorted by decreasing affinity difference. This is the
+// procedure behind the paper's top-k emerging/disappearing topic lists.
+func TopContrastCliques(g1, g2 *Graph, opt *Options) []ContrastClique {
+	return TopContrastCliquesOn(graph.Difference(g1, g2), opt)
+}
+
+// TopContrastCliquesOn is TopContrastCliques on a pre-built difference graph.
+func TopContrastCliquesOn(gd *Graph, opt *Options) []ContrastClique {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	return core.CollectCliques(gd, o)
+}
+
+// MaxAffinitySubgraph maximizes xᵀAx over the simplex on a *single*
+// positive-weight graph — the traditional graph-affinity densest-subgraph
+// problem of Liu et al. [18], which Section V-C notes the coordinate-descent
+// machinery solves competitively. It is FindGraphAffinityDCS against an
+// empty first graph.
+func MaxAffinitySubgraph(g *Graph, opt *Options) GraphAffinityResult {
+	return FindGraphAffinityDCSOn(g, opt)
+}
+
+// ValidateAverageDegreeResult re-derives every field of an
+// AverageDegreeResult from the difference graph and reports the first
+// inconsistency. Use it to guard pipelines that persist or transport results.
+func ValidateAverageDegreeResult(gd *Graph, res AverageDegreeResult) error {
+	return core.ValidateAD(gd, res)
+}
+
+// ValidateGraphAffinityResult is the GraphAffinityResult counterpart of
+// ValidateAverageDegreeResult.
+func ValidateGraphAffinityResult(gd *Graph, res GraphAffinityResult) error {
+	return core.ValidateGA(gd, res)
+}
+
+// RatioContrastResult is the outcome of the α-quasi-contrast search.
+type RatioContrastResult = core.RatioResult
+
+// FindMaxRatioContrast searches for the largest α such that some subgraph S
+// satisfies ρ2(S) ≥ α·ρ1(S), via binary search over the generalized
+// difference graphs GD = G2 − αG1 of Section III-D. The returned α is
+// certified by the witness S; it is +Inf when an edge exists only in G2 (the
+// degeneracy that makes the raw density-ratio objective ill-posed,
+// Section III-C).
+func FindMaxRatioContrast(g1, g2 *Graph) RatioContrastResult {
+	return core.MaxRatioContrast(g1, g2, 0)
+}
+
+// TopKAverageDegreeDCS mines up to k vertex-disjoint density contrast
+// subgraphs under the average-degree measure by iterating DCSGreedy on the
+// difference graph with previously found vertices removed. It extends the
+// paper toward its stated future-work direction of mining multiple
+// subgraphs with large density difference.
+func TopKAverageDegreeDCS(g1, g2 *Graph, k int) []AverageDegreeResult {
+	return core.TopKAverageDegree(graph.Difference(g1, g2), k)
+}
+
+// TopKAverageDegreeDCSOn is TopKAverageDegreeDCS on a pre-built difference
+// graph.
+func TopKAverageDegreeDCSOn(gd *Graph, k int) []AverageDegreeResult {
+	return core.TopKAverageDegree(gd, k)
+}
+
+// TopKGraphAffinityDCS mines up to k vertex-disjoint positive cliques with
+// the largest affinity differences (disjoint communities rather than the
+// possibly-overlapping topics of TopContrastCliques).
+func TopKGraphAffinityDCS(g1, g2 *Graph, k int, opt *Options) []ContrastClique {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	return core.TopKGraphAffinity(graph.Difference(g1, g2), k, o)
+}
+
+// MaxTotalWeightResult is a subgraph maximizing total weight difference
+// W_D(S) (the objective of the EgoScan baseline, Cadena et al. [6]).
+type MaxTotalWeightResult = egoscan.Result
+
+// FindMaxTotalWeightSubgraph maximizes the total edge-weight difference
+// W2(S) − W1(S) rather than a density — the objective of the paper's closest
+// related work. Use it when very large contrast subgraphs are wanted
+// (Section VI-E's guidance: graph affinity for small interpretable DCS,
+// average degree for medium, total weight for the largest).
+func FindMaxTotalWeightSubgraph(g1, g2 *Graph) MaxTotalWeightResult {
+	return egoscan.Scan(graph.Difference(g1, g2), egoscan.Options{})
+}
+
+// FindMaxTotalWeightSubgraphOn is the pre-built-difference-graph variant.
+func FindMaxTotalWeightSubgraphOn(gd *Graph) MaxTotalWeightResult {
+	return egoscan.Scan(gd, egoscan.Options{})
+}

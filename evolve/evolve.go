@@ -1,0 +1,36 @@
+// Package evolve detects anomalous dense structure in a stream of graph
+// snapshots by mining density contrast subgraphs against an
+// exponentially-weighted historical expectation — the anomaly-detection
+// application of Section I of "Mining Density Contrast Subgraphs" (ICDE
+// 2018): emerging traffic hotspot clusters, emerging communities, dark
+// networks.
+//
+//	tr := evolve.New(nSensors, evolve.Config{Lambda: 0.3, MinDensity: 2})
+//	for snapshot := range snapshots {
+//	    if rep := tr.Observe(snapshot); rep.Anomalous() {
+//	        alert(rep.S, rep.Contrast)
+//	    }
+//	}
+//
+// Persistent structure is absorbed into the expectation within a few steps
+// and stops being reported; genuinely new dense structure surfaces the moment
+// it appears.
+package evolve
+
+import (
+	ievolve "github.com/dcslib/dcs/internal/evolve"
+)
+
+// Config tunes a Tracker (decay, report threshold, measure).
+type Config = ievolve.Config
+
+// Report is one observation step's finding.
+type Report = ievolve.Report
+
+// Tracker is the streaming state; not safe for concurrent use.
+type Tracker = ievolve.Tracker
+
+// New returns a Tracker over n vertices with an empty expectation.
+func New(n int, cfg Config) *Tracker {
+	return ievolve.New(n, cfg)
+}

@@ -1,0 +1,52 @@
+package dcs_test
+
+import (
+	"fmt"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// Example mines the emerging subgraph of the paper's Fig. 1 under both
+// density measures.
+func Example() {
+	// Yesterday's relations.
+	b1 := dcs.NewBuilder(5)
+	b1.AddEdge(0, 2, 2)
+	b1.AddEdge(0, 3, 2)
+	b1.AddEdge(2, 3, 1)
+	b1.AddEdge(2, 4, 3)
+	b1.AddEdge(1, 4, 2)
+	// Today's relations.
+	b2 := dcs.NewBuilder(5)
+	b2.AddEdge(0, 1, 1)
+	b2.AddEdge(0, 2, 5)
+	b2.AddEdge(0, 3, 6)
+	b2.AddEdge(2, 3, 4)
+	b2.AddEdge(2, 4, 2)
+	b2.AddEdge(1, 4, 3)
+	g1, g2 := b1.Build(), b2.Build()
+
+	ad := dcs.FindAverageDegreeDCS(g1, g2)
+	fmt.Printf("average degree: S=%v density=%.3f\n", ad.S, ad.Density)
+
+	ga := dcs.FindGraphAffinityDCS(g1, g2, nil)
+	fmt.Printf("graph affinity: S=%v f=%.3f clique=%v\n", ga.S, ga.Affinity, ga.PositiveClique)
+	// Output:
+	// average degree: S=[0 2 3] density=6.667
+	// graph affinity: S=[0 2 3] f=2.250 clique=true
+}
+
+// ExampleDifferenceAlpha shows α-quasi-contrast mining: require the new
+// density to be at least α times the old one.
+func ExampleDifferenceAlpha() {
+	b1 := dcs.NewBuilder(3)
+	b1.AddEdge(0, 1, 2)
+	b2 := dcs.NewBuilder(3)
+	b2.AddEdge(0, 1, 3)
+	b2.AddEdge(1, 2, 1)
+	gd := dcs.DifferenceAlpha(b1.Build(), b2.Build(), 2)
+	res := dcs.FindAverageDegreeDCSOn(gd)
+	fmt.Printf("S=%v density=%.2f\n", res.S, res.Density)
+	// Output:
+	// S=[1 2] density=1.00
+}

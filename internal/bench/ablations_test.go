@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+func TestAblationsShapes(t *testing.T) {
+	s := quickSuite()
+	rows := s.Ablations(nil)
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for i, r := range rows {
+		// The exact certificate is always at least 1 and never looser than
+		// Theorem 2's greedy certificate.
+		if r.ExactRatio < 1-1e-9 {
+			t.Errorf("row %d: exact ratio %v < 1", i, r.ExactRatio)
+		}
+		if r.ExactRatio > r.GreedyRatio+1e-6 {
+			t.Errorf("row %d: exact ratio %v looser than greedy %v", i, r.ExactRatio, r.GreedyRatio)
+		}
+		// OQC's quasi-clique has positive surplus on planted data, and its
+		// size sits between the affinity DCS (tiny) and EgoScan (huge).
+		if r.OQCSurplus <= 0 {
+			t.Errorf("row %d: OQC surplus %v must be positive", i, r.OQCSurplus)
+		}
+		if r.OQCSize <= 1 {
+			t.Errorf("row %d: OQC size %d degenerate", i, r.OQCSize)
+		}
+	}
+}

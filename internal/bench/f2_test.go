@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFig2Print(t *testing.T) {
+	if os.Getenv("DCS_FIG2") == "" {
+		t.Skip("set DCS_FIG2=1 to run the full-scale sweep")
+	}
+	s := &Suite{}
+	s.Fig2(os.Stderr)
+}

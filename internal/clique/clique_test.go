@@ -1,0 +1,241 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+func isClique(g *graph.Graph, c []int) bool {
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			if !g.HasEdge(c[i], c[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteMaxClique finds ω(G) by subset enumeration; n ≤ ~20.
+func bruteMaxClique(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	if n > 0 {
+		best = 1
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		var S []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				S = append(S, v)
+			}
+		}
+		if len(S) <= best {
+			continue
+		}
+		if isClique(g, S) {
+			best = len(S)
+		}
+	}
+	return best
+}
+
+func TestMaximumOnKnownGraphs(t *testing.T) {
+	// K5: clique number 5.
+	if got := Number(graph.Complete(5, 1)); got != 5 {
+		t.Errorf("omega(K5) = %d, want 5", got)
+	}
+	// C5 (5-cycle): clique number 2.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5, 1)
+	}
+	if got := Number(b.Build()); got != 2 {
+		t.Errorf("omega(C5) = %d, want 2", got)
+	}
+	// Edgeless graph: clique number 1.
+	if got := Number(graph.NewBuilder(4).Build()); got != 1 {
+		t.Errorf("omega(edgeless) = %d, want 1", got)
+	}
+	// Empty graph: 0.
+	if got := Number(graph.NewBuilder(0).Build()); got != 0 {
+		t.Errorf("omega(empty) = %d, want 0", got)
+	}
+}
+
+func TestMaximumReturnsActualClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(15)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		c := Maximum(g)
+		if !isClique(g, c) {
+			t.Fatalf("returned set %v is not a clique", c)
+		}
+		if !sort.IntsAreSorted(c) {
+			t.Fatalf("clique %v not sorted", c)
+		}
+	}
+}
+
+// Property: branch-and-bound matches brute force on random graphs.
+func TestMaximumMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.45 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		return Number(g) == bruteMaxClique(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, k := 60, 9
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(perm[i], perm[j], 1)
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	g := b.Build()
+	c := Maximum(g)
+	if len(c) < k {
+		t.Fatalf("found clique of size %d, planted %d", len(c), k)
+	}
+	if !isClique(g, c) {
+		t.Fatal("result is not a clique")
+	}
+}
+
+func TestEnumerateMaximalTrianglePlusEdge(t *testing.T) {
+	// Triangle {0,1,2} plus pendant edge (2,3): maximal cliques {0,1,2}, {2,3}.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	var got [][]int
+	EnumerateMaximal(g, 1, func(c []int) bool {
+		cc := make([]int, len(c))
+		copy(cc, c)
+		sort.Ints(cc)
+		got = append(got, cc)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %d maximal cliques (%v), want 2", len(got), got)
+	}
+	counts := CountBySize(g, 1)
+	if counts[3] != 1 || counts[2] != 1 {
+		t.Errorf("CountBySize = %v, want {3:1, 2:1}", counts)
+	}
+	// minSize filter.
+	counts3 := CountBySize(g, 3)
+	if counts3[2] != 0 || counts3[3] != 1 {
+		t.Errorf("CountBySize(min=3) = %v", counts3)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := graph.Complete(8, 1)
+	calls := 0
+	EnumerateMaximal(g, 1, func(c []int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("enumeration did not stop early: %d calls", calls)
+	}
+}
+
+// Property: number of maximal cliques and their maximality, vs brute force.
+func TestEnumerateMaximalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		// Brute force: subsets that are cliques and maximal.
+		var want int
+		for mask := 1; mask < 1<<n; mask++ {
+			var S []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					S = append(S, v)
+				}
+			}
+			if !isClique(g, S) {
+				continue
+			}
+			maximal := true
+			for v := 0; v < n && maximal; v++ {
+				if mask&(1<<v) != 0 {
+					continue
+				}
+				ext := true
+				for _, u := range S {
+					if !g.HasEdge(u, v) {
+						ext = false
+						break
+					}
+				}
+				if ext {
+					maximal = false
+				}
+			}
+			if maximal {
+				want++
+			}
+		}
+		got := 0
+		EnumerateMaximal(g, 1, func(c []int) bool {
+			if !isClique(g, c) {
+				return false
+			}
+			got++
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dcslib/dcs/internal/cores"
+	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/simplex"
+)
+
+// GAResult is the outcome of a DCSGA computation.
+type GAResult struct {
+	X              *simplex.Vector // the subgraph embedding on the simplex
+	S              []int           // support set Sx, increasing order
+	Affinity       float64         // f_D(x) = xᵀDx, the graph affinity difference
+	Density        float64         // ρ_D(Sx), average-degree difference of the support
+	EdgeDensity    float64         // W_D(Sx)/|Sx|², edge-density difference
+	TotalWeight    float64         // W_D(Sx), total edge weight difference
+	PositiveClique bool            // is GD(Sx) a positive clique? (true after Refine)
+	Stats          GAStats
+}
+
+func newGAResult(gd *graph.Graph, x *simplex.Vector, st GAStats) GAResult {
+	S := x.Support()
+	return GAResult{
+		X:              x,
+		S:              S,
+		Affinity:       simplex.Affinity(gd, x),
+		Density:        gd.AverageDegreeOf(S),
+		EdgeDensity:    gd.EdgeDensityOf(S),
+		TotalWeight:    gd.TotalDegreeOf(S),
+		PositiveClique: gd.IsPositiveClique(S),
+		Stats:          st,
+	}
+}
+
+// initBounds computes the smart-initialization upper bounds of Algorithm 5:
+// for every vertex u of GD+, µu = τu·wu/(τu+1), where τu is u's core number
+// and wu upper-bounds the maximum edge weight in u's ego net. By Theorem 6,
+// µu bounds xᵀDx for any clique embedding of GD+ whose support contains u.
+// Total cost O(|ED+|).
+func initBounds(gdp *graph.Graph) []float64 {
+	n := gdp.N()
+	// mw[v] = max weight incident to v.
+	mw := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for _, nb := range gdp.Neighbors(v) {
+			if nb.W > mw[v] {
+				mw[v] = nb.W
+			}
+		}
+	}
+	// wu = max over the ego net Tu = {u} ∪ N(u) of incident max-weights:
+	// every edge with an endpoint in Tu contributes to some mw[v], v ∈ Tu.
+	tau := cores.Numbers(gdp)
+	mu := make([]float64, n)
+	for u := 0; u < n; u++ {
+		wu := mw[u]
+		for _, nb := range gdp.Neighbors(u) {
+			if mw[nb.To] > wu {
+				wu = mw[nb.To]
+			}
+		}
+		t := float64(tau[u])
+		mu[u] = t * wu / (t + 1)
+	}
+	return mu
+}
+
+// runInit performs one initialization of the DCSGA pipeline: x = e_u, SEACD
+// (or SEA) to a KKT point on GD+, then Refinement to a positive clique.
+func runInit(gdp *graph.Graph, u int, useReplicator bool, opt GAOptions) (*simplex.Vector, GAStats) {
+	x := simplex.Indicator(gdp.N(), u)
+	var st GAStats
+	if useReplicator {
+		st = SEA(gdp, x, opt)
+	} else {
+		st = SEACD(gdp, x, opt)
+	}
+	st.RefineSteps += Refine(gdp, x, opt)
+	pruneTiny(gdp, x, opt)
+	return x, st
+}
+
+// NewSEA is Algorithm 5: the full DCSGA solver with the smart-initialization
+// heuristic. Vertices are tried in descending order of the upper bound µu and
+// initialization stops as soon as µu cannot beat the best objective found,
+// which in the paper's experiments prunes all but a handful of the n
+// initializations. Runs on GD+ internally; the result is evaluated against
+// the full difference graph gd (equal by Theorem 5: the support is a positive
+// clique).
+func NewSEA(gd *graph.Graph, opt GAOptions) GAResult {
+	opt = opt.withDefaults()
+	gdp := gd.PositivePart()
+	n := gd.N()
+	if n == 0 {
+		return GAResult{X: simplex.New(0), PositiveClique: true}
+	}
+	best := simplex.Indicator(n, 0)
+	bestF := 0.0
+	var stats GAStats
+	if gdp.M() == 0 {
+		// No positive edge: the optimum of Eq. 6 is 0 on a single vertex.
+		return newGAResult(gd, best, stats)
+	}
+	mu := initBounds(gdp)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if mu[order[a]] != mu[order[b]] {
+			return mu[order[a]] > mu[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, u := range order {
+		if mu[u] <= bestF {
+			break
+		}
+		x, st := runInit(gdp, u, false, opt)
+		stats.add(st)
+		if f := simplex.Affinity(gdp, x); f > bestF {
+			best, bestF = x, f
+		}
+	}
+	return newGAResult(gd, best, stats)
+}
+
+// SEACDRefineFull is the SEACD+Refine baseline of Section VI: one
+// initialization per vertex of GD+ (no smart pruning), keeping the best
+// positive-clique solution.
+func SEACDRefineFull(gd *graph.Graph, opt GAOptions) GAResult {
+	return fullInit(gd, false, opt)
+}
+
+// SEARefineFull is the SEA+Refine baseline: the original replicator-dynamics
+// SEA from every vertex, plus Refinement. Its loose shrink convergence
+// produces the expansion errors reported in Stats.ExpansionErrors.
+func SEARefineFull(gd *graph.Graph, opt GAOptions) GAResult {
+	return fullInit(gd, true, opt)
+}
+
+func fullInit(gd *graph.Graph, useReplicator bool, opt GAOptions) GAResult {
+	opt = opt.withDefaults()
+	gdp := gd.PositivePart()
+	n := gd.N()
+	if n == 0 {
+		return GAResult{X: simplex.New(0), PositiveClique: true}
+	}
+	best := simplex.Indicator(n, 0)
+	bestF := 0.0
+	var stats GAStats
+	if gdp.M() == 0 {
+		return newGAResult(gd, best, stats)
+	}
+	// Isolated vertices of GD+ can only yield f = 0; skip them the way the
+	// original SEA implementation does.
+	var starts []int
+	for u := 0; u < n; u++ {
+		if gdp.OutDegree(u) > 0 {
+			starts = append(starts, u)
+		}
+	}
+	results := forEachInit(gdp, starts, useReplicator, opt)
+	for _, r := range results {
+		stats.add(r.st)
+		// Deterministic winner: highest affinity, ties by start vertex order
+		// (results arrive in starts order regardless of parallelism).
+		if f := simplex.Affinity(gdp, r.x); f > bestF {
+			best, bestF = r.x, f
+		}
+	}
+	return newGAResult(gd, best, stats)
+}
+
+// initResult pairs one initialization's outcome with its statistics.
+type initResult struct {
+	x  *simplex.Vector
+	st GAStats
+}
+
+// forEachInit runs the init pipeline from every start vertex, sequentially or
+// on opt.Parallelism workers, returning results indexed like starts.
+func forEachInit(gdp *graph.Graph, starts []int, useReplicator bool, opt GAOptions) []initResult {
+	results := make([]initResult, len(starts))
+	workers := opt.Parallelism
+	if workers <= 1 || len(starts) < 2 {
+		for i, u := range starts {
+			x, st := runInit(gdp, u, useReplicator, opt)
+			results[i] = initResult{x: x, st: st}
+		}
+		return results
+	}
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				x, st := runInit(gdp, starts[i], useReplicator, opt)
+				results[i] = initResult{x: x, st: st}
+			}
+		}()
+	}
+	for i := range starts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Clique is a positive clique found by a DCSGA initialization, with its
+// affinity-difference value and the embedding attaining it.
+type Clique struct {
+	S        []int
+	Affinity float64
+	X        *simplex.Vector
+}
+
+// CliqueEmbedding returns the locally-optimal embedding supported on the
+// clique S of gd: coordinate descent from the uniform embedding to a local
+// KKT point on S. For a positive clique this is the affinity-maximizing
+// weighting of its members (the per-keyword weights of Table V).
+func CliqueEmbedding(gd *graph.Graph, S []int) *simplex.Vector {
+	x := simplex.Uniform(gd.N(), S)
+	coordinateDescent(gd, x, S, 1e-9, 100000)
+	pruneTiny(gd, x, GAOptions{})
+	return x
+}
+
+// CollectCliques runs SEACD+Refine from every vertex of GD+ and returns the
+// distinct positive cliques found, de-duplicated and with cliques that are
+// strict subsets of other found cliques removed — the procedure behind
+// Table V (top-k topics) and Fig. 3 (clique-count histograms). Results are
+// sorted by decreasing affinity, ties by support.
+func CollectCliques(gd *graph.Graph, opt GAOptions) []Clique {
+	opt = opt.withDefaults()
+	gdp := gd.PositivePart()
+	n := gd.N()
+	var starts []int
+	for u := 0; u < n; u++ {
+		if gdp.OutDegree(u) > 0 {
+			starts = append(starts, u)
+		}
+	}
+	results := forEachInit(gdp, starts, false, opt)
+	seen := make(map[string]bool)
+	var out []Clique
+	for _, r := range results {
+		S := r.x.Support()
+		if len(S) == 0 {
+			continue
+		}
+		key := supportKey(S)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Clique{S: S, Affinity: simplex.Affinity(gdp, r.x), X: r.x})
+	}
+	out = removeSubsets(out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Affinity != out[j].Affinity {
+			return out[i].Affinity > out[j].Affinity
+		}
+		return supportKey(out[i].S) < supportKey(out[j].S)
+	})
+	return out
+}
+
+func supportKey(S []int) string {
+	buf := make([]byte, 0, 8*len(S))
+	for _, v := range S {
+		for v > 0 {
+			buf = append(buf, byte('0'+v%10))
+			v /= 10
+		}
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func removeSubsets(cs []Clique) []Clique {
+	// Sort by size descending; keep a clique only if it is not a subset of an
+	// already-kept one.
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i].S) > len(cs[j].S) })
+	var kept []Clique
+	var keptSets []map[int]bool
+	for _, c := range cs {
+		sub := false
+		for _, ks := range keptSets {
+			all := true
+			for _, v := range c.S {
+				if !ks[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				sub = true
+				break
+			}
+		}
+		if sub {
+			continue
+		}
+		set := make(map[int]bool, len(c.S))
+		for _, v := range c.S {
+			set[v] = true
+		}
+		kept = append(kept, c)
+		keptSets = append(keptSets, set)
+	}
+	return kept
+}

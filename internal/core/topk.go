@@ -1,0 +1,61 @@
+package core
+
+import "github.com/dcslib/dcs/internal/graph"
+
+// TopKAverageDegree mines up to k vertex-disjoint density contrast subgraphs
+// under the average-degree measure, addressing the paper's stated future-work
+// direction ("how to mine multiple subgraphs with big density difference").
+//
+// It iterates DCSGreedy: find a DCS, record it, strip its vertices from the
+// difference graph, and repeat until k subgraphs are found or no subgraph
+// with positive density difference remains. The first result is exactly
+// DCSGreedy's. Because DCSGreedy is a heuristic, a later result can
+// occasionally be denser than an earlier one (removal changes the peeling
+// order); results are reported in discovery order.
+func TopKAverageDegree(gd *graph.Graph, k int) []ADResult {
+	var out []ADResult
+	work := gd
+	for len(out) < k {
+		res := DCSGreedy(work)
+		if res.Density <= 0 || len(res.S) == 0 {
+			break
+		}
+		// Re-evaluate the subgraph against the *original* difference graph:
+		// the vertices are disjoint from earlier picks, so the induced
+		// subgraph (and hence every metric) is identical — asserted in tests.
+		out = append(out, newADResult(gd, res.S, res.Ratio))
+		work = work.WithoutVertices(res.S)
+	}
+	return out
+}
+
+// TopKGraphAffinity mines up to k vertex-disjoint positive cliques with the
+// largest affinity differences: it runs the full CollectCliques pass once and
+// then greedily selects non-overlapping cliques in affinity order. Unlike
+// CollectCliques (which may return overlapping topics), the results here are
+// disjoint communities.
+func TopKGraphAffinity(gd *graph.Graph, k int, opt GAOptions) []Clique {
+	cliques := CollectCliques(gd, opt)
+	taken := make(map[int]bool)
+	var out []Clique
+	for _, c := range cliques {
+		if len(out) >= k {
+			break
+		}
+		overlap := false
+		for _, v := range c.S {
+			if taken[v] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, v := range c.S {
+			taken[v] = true
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+func TestPowerLawWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := powerLawWeights(rng, 1000, 2.3, 5)
+	var sum, maxW float64
+	for _, x := range w {
+		if x <= 0 {
+			t.Fatal("weights must be positive")
+		}
+		sum += x
+		if x > maxW {
+			maxW = x
+		}
+	}
+	avg := sum / 1000
+	if math.Abs(avg-5) > 1e-9 {
+		t.Fatalf("average expected degree = %v, want 5", avg)
+	}
+	if maxW < 3*avg {
+		t.Errorf("power law should have a heavy tail: max %v vs avg %v", maxW, avg)
+	}
+}
+
+func TestChungLuDegreeScaling(t *testing.T) {
+	// Expected number of edges ≈ Σ w_u w_v / Σw over pairs ≈ (Σw)/2 per the
+	// model; with avgDeg=6 and n=2000 that is ≈ 6000 edges.
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	w := powerLawWeights(rng, n, 2.3, 6)
+	b := graph.NewBuilder(n)
+	chungLu(rng, b, w, unitWeight)
+	g := b.Build()
+	m := float64(g.M())
+	if m < 3500 || m > 8500 {
+		t.Fatalf("Chung–Lu produced %v edges, expected around 6000", m)
+	}
+}
+
+func TestChungLuDeterministic(t *testing.T) {
+	mk := func() *graph.Graph {
+		rng := rand.New(rand.NewSource(7))
+		w := powerLawWeights(rng, 300, 2.3, 4)
+		b := graph.NewBuilder(300)
+		chungLu(rng, b, w, collabWeight)
+		return b.Build()
+	}
+	g1, g2 := mk(), mk()
+	if g1.M() != g2.M() || g1.TotalWeight() != g2.TotalWeight() {
+		t.Fatal("generation must be deterministic for a fixed seed")
+	}
+}
+
+func TestCoauthorPlantedGroupsAreContrasts(t *testing.T) {
+	ca := CoauthorPair(CoauthorConfig{Seed: 3, N: 1200})
+	if ca.G1.N() != 1200 || ca.G2.N() != 1200 {
+		t.Fatal("graph sizes wrong")
+	}
+	emerging := ca.EmergingGD()
+	for i, g := range ca.EmergingGroups {
+		rho := emerging.AverageDegreeOf(g)
+		if rho <= 0 {
+			t.Errorf("emerging group %d has non-positive density %v in GD", i, rho)
+		}
+	}
+	disappearing := ca.DisappearingGD()
+	for i, g := range ca.DisappearingGroups {
+		rho := disappearing.AverageDegreeOf(g)
+		if rho <= 0 {
+			t.Errorf("disappearing group %d has non-positive density %v in G1−G2", i, rho)
+		}
+	}
+	// Emerging and disappearing difference graphs are sign flips.
+	st1 := emerging.ComputeStats()
+	st2 := disappearing.ComputeStats()
+	if st1.MPos != st2.MNeg || st1.MNeg != st2.MPos {
+		t.Errorf("m+/m− must swap between emerging and disappearing: %+v vs %+v", st1, st2)
+	}
+	if math.Abs(st1.MaxW+st2.MinW) > 1e-9 {
+		t.Errorf("max/min weights must negate: %v vs %v", st1.MaxW, st2.MinW)
+	}
+}
+
+func TestCoauthorDiscreteSetting(t *testing.T) {
+	ca := CoauthorPair(CoauthorConfig{Seed: 4, N: 800})
+	d := ca.EmergingDiscreteGD()
+	st := d.ComputeStats()
+	if st.MaxW > 2 || st.MinW < -2 {
+		t.Fatalf("discrete weights out of range: %+v", st)
+	}
+	if st.MPos == 0 || st.MNeg == 0 {
+		t.Fatalf("discrete GD should keep both signs: %+v", st)
+	}
+}
+
+func TestCoauthorBigN(t *testing.T) {
+	ca := CoauthorPair(CoauthorConfig{Seed: 5, N: 1000, BigN: true})
+	gd := ca.EmergingGD()
+	st := gd.ComputeStats()
+	if st.MaxW < 350 {
+		t.Fatalf("DBLP-C mode must plant a ~400-weight edge, max is %v", st.MaxW)
+	}
+}
+
+func TestKeywordTopicSignals(t *testing.T) {
+	kw := KeywordGraphs(KeywordConfig{Seed: 6})
+	em := kw.EmergingGD()
+	dis := kw.DisappearingGD()
+	// "social networks" must be strongly positive in the emerging GD.
+	s, n1 := kw.Index["social"], kw.Index["networks"]
+	if w := em.Weight(s, n1); w < 5 {
+		t.Fatalf("social–networks emerging weight = %v, want strongly positive", w)
+	}
+	// "association rules" must be strongly positive in the disappearing GD.
+	a, r := kw.Index["association"], kw.Index["rules"]
+	if w := dis.Weight(a, r); w < 5 {
+		t.Fatalf("association–rules disappearing weight = %v, want strongly positive", w)
+	}
+	// Evergreen "time series" should have small magnitude in both.
+	ti, se := kw.Index["time"], kw.Index["series"]
+	if w := math.Abs(em.Weight(ti, se)); w > 4 {
+		t.Fatalf("time–series should not be a strong trend, |w| = %v", w)
+	}
+	// All topic keywords are labeled.
+	for _, tp := range kw.Topics {
+		for _, word := range tp.Keywords {
+			id, ok := kw.Index[word]
+			if !ok || kw.Labels[id] != word {
+				t.Fatalf("keyword %q not indexed correctly", word)
+			}
+		}
+	}
+}
+
+func TestWikiGroups(t *testing.T) {
+	w := WikiGraphs(WikiConfig{Seed: 7, N: 1500, GroupSize: 25})
+	cons := w.ConsistentGD()
+	for i, g := range w.ConsistentGroups {
+		if rho := cons.AverageDegreeOf(g); rho <= 0 {
+			t.Errorf("consistent group %d: density %v in consistent GD", i, rho)
+		}
+	}
+	conf := w.ConflictingGD()
+	for i, g := range w.ConflictingGroups {
+		if rho := conf.AverageDegreeOf(g); rho <= 0 {
+			t.Errorf("conflicting group %d: density %v in conflicting GD", i, rho)
+		}
+	}
+}
+
+func TestDoubanPipeline(t *testing.T) {
+	d := DoubanGraphs(DoubanConfig{Seed: 8, N: 600, Communities: 10})
+	if d.G1.N() != 600 || d.G2.N() != 600 {
+		t.Fatal("sizes wrong")
+	}
+	if d.G2.M() == 0 {
+		t.Fatal("interest graph must have edges")
+	}
+	// Unit weights in both graphs.
+	bad := false
+	d.G2.VisitEdges(func(u, v int, w float64) {
+		if w != 1 {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("interest graph must be unit-weighted")
+	}
+	// Interest edges only within two hops of the social graph.
+	checked := 0
+	d.G2.VisitEdges(func(u, v int, w float64) {
+		if checked > 200 {
+			return
+		}
+		checked++
+		found := false
+		for _, x := range twoHop(d.G1, u) {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("interest edge (%d,%d) spans more than 2 social hops", u, v)
+		}
+	})
+}
+
+func TestDoubanAlignmentAffectsOverlap(t *testing.T) {
+	// High alignment (movie) must produce more interest edges inside social
+	// communities than low alignment (book).
+	movie := DoubanGraphs(DoubanConfig{Seed: 9, N: 800, Communities: 10, Alignment: 0.8, JaccardThreshold: 0.2})
+	book := DoubanGraphs(DoubanConfig{Seed: 9, N: 800, Communities: 10, Alignment: 0.35, JaccardThreshold: 0.2})
+	frac := func(d *Douban) float64 {
+		intra, total := 0, 0
+		d.G2.VisitEdges(func(u, v int, w float64) {
+			total++
+			if d.Community[u] == d.Community[v] {
+				intra++
+			}
+		})
+		if total == 0 {
+			return 0
+		}
+		return float64(intra) / float64(total)
+	}
+	if frac(movie) <= frac(book) {
+		t.Fatalf("alignment must increase intra-community interest fraction: movie %v vs book %v",
+			frac(movie), frac(book))
+	}
+}
+
+func TestActorGraph(t *testing.T) {
+	a := ActorGraph(ActorConfig{Seed: 10, N: 1200})
+	st := a.GD.ComputeStats()
+	if st.MNeg != 0 {
+		t.Fatal("actor graph must be all-positive")
+	}
+	if st.MaxW < 150 {
+		t.Fatalf("heavy pair missing: max weight %v", st.MaxW)
+	}
+	capped := a.GD.CapWeights(10).ComputeStats()
+	if capped.MaxW > 10 {
+		t.Fatalf("Discrete setting must cap at 10, got %v", capped.MaxW)
+	}
+	if capped.MPos != st.MPos {
+		t.Fatal("capping must not change the edge set")
+	}
+}
+
+func TestDensitySweep(t *testing.T) {
+	pts := DensitySweep(SweepConfig{Seed: 11, N: 400, Densities: []float64{2, 8, 16}})
+	if len(pts) != 3 {
+		t.Fatal("wrong number of sweep points")
+	}
+	prev := 0.0
+	for _, p := range pts {
+		st := p.GD.ComputeStats()
+		if st.Density <= prev {
+			t.Fatalf("m+/n must increase along the sweep: %v after %v", st.Density, prev)
+		}
+		prev = st.Density
+		if st.MNeg == 0 {
+			t.Error("sweep graphs must include negative edges")
+		}
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	used := make(map[int]bool)
+	a := pickDistinct(rng, 100, 10, used)
+	b := pickDistinct(rng, 100, 10, used)
+	seen := map[int]bool{}
+	for _, v := range append(a, b...) {
+		if seen[v] {
+			t.Fatal("pickDistinct returned a duplicate across calls")
+		}
+		seen[v] = true
+	}
+}

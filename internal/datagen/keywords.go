@@ -1,0 +1,163 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// Topic is a named group of keywords with a popularity in each era. Edge
+// weights between its keywords scale with the era popularity, so a topic
+// popular only in era 2 surfaces as an emerging DCS.
+type Topic struct {
+	Name     string
+	Keywords []string
+	Pop1     float64 // popularity (fraction of titles) in era 1, in [0, 1]
+	Pop2     float64 // popularity in era 2
+}
+
+// DefaultTopics mirrors the paper's Tables V/VI: topics that emerged in
+// 2008–2017, topics that disappeared after 1998–2007, and evergreen topics
+// that stay roughly constant (and must NOT be reported as trends — the
+// paper's core argument for contrast mining over single-graph mining).
+func DefaultTopics() []Topic {
+	return []Topic{
+		// Emerging (hot in era 2 only).
+		{"social networks", []string{"social", "networks"}, 0.02, 0.12},
+		{"large scale", []string{"large", "scale"}, 0.015, 0.09},
+		{"matrix factorization", []string{"matrix", "factorization"}, 0.01, 0.08},
+		{"semi-supervised learning", []string{"semi", "supervised", "learning"}, 0.012, 0.07},
+		{"unsupervised feature selection", []string{"unsupervised", "feature", "selection"}, 0.01, 0.06},
+		// Disappearing (hot in era 1 only).
+		{"association rules", []string{"mining", "association", "rules"}, 0.13, 0.02},
+		{"knowledge discovery", []string{"knowledge", "discovery"}, 0.10, 0.02},
+		{"support vector machines", []string{"support", "vector", "machines"}, 0.09, 0.02},
+		{"inductive logic programming", []string{"logic", "inductive", "programming"}, 0.07, 0.01},
+		{"intrusion detection", []string{"intrusion", "detection"}, 0.06, 0.01},
+		// Evergreen / slightly cooling: top topics of both eras but not trends.
+		{"time series", []string{"time", "series"}, 0.14, 0.125},
+		{"feature selection", []string{"feature", "selection"}, 0.11, 0.10},
+		{"decision trees", []string{"decision", "trees"}, 0.08, 0.05},
+		{"nearest neighbor", []string{"nearest", "neighbor"}, 0.075, 0.05},
+		{"clustering", []string{"clustering", "algorithms"}, 0.07, 0.07},
+	}
+}
+
+// KeywordConfig sizes the synthetic DM keyword-association dataset.
+type KeywordConfig struct {
+	Seed   int64
+	Topics []Topic // default DefaultTopics()
+	Extra  int     // extra background keywords; default 600
+	AvgDeg float64 // background association density; default 4
+	// NoiseScale scales the random background co-occurrence weights
+	// (default 0.3, small relative to topic signals).
+	NoiseScale float64
+}
+
+func (c KeywordConfig) withDefaults() KeywordConfig {
+	if c.Topics == nil {
+		c.Topics = DefaultTopics()
+	}
+	if c.Extra == 0 {
+		c.Extra = 600
+	}
+	if c.AvgDeg == 0 {
+		c.AvgDeg = 4
+	}
+	if c.NoiseScale == 0 {
+		c.NoiseScale = 0.3
+	}
+	return c
+}
+
+// Keywords is a pair of keyword-association graphs (era 1 and era 2). Edge
+// weights follow the paper's recipe: 100 × the fraction of titles containing
+// both keywords, which for a topic with popularity p and an in-topic
+// co-occurrence rate near 1 gives weight ≈ 100p between its keywords.
+type Keywords struct {
+	G1, G2 *graph.Graph
+	Labels []string
+	Topics []Topic
+	// Index maps a keyword to its vertex id.
+	Index map[string]int
+}
+
+// KeywordGraphs builds the synthetic DM dataset.
+func KeywordGraphs(cfg KeywordConfig) *Keywords {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	index := make(map[string]int)
+	var labels []string
+	add := func(word string) int {
+		if id, ok := index[word]; ok {
+			return id
+		}
+		id := len(labels)
+		index[word] = id
+		labels = append(labels, word)
+		return id
+	}
+	for _, t := range cfg.Topics {
+		for _, w := range t.Keywords {
+			add(w)
+		}
+	}
+	for _, w := range numberedLabels("kw", cfg.Extra) {
+		add(w)
+	}
+	n := len(labels)
+	b1 := graph.NewBuilder(n)
+	b2 := graph.NewBuilder(n)
+
+	// Background word-pair associations shared by both eras, with mild
+	// independent jitter so differences are non-zero but small.
+	deg := powerLawWeights(rng, n, 2.4, cfg.AvgDeg)
+	noise := func(rng *rand.Rand) float64 {
+		return cfg.NoiseScale * (0.2 + rng.Float64())
+	}
+	chungLu(rng, b1, deg, noise)
+	chungLu(rng, b2, deg, noise)
+
+	// Topic signals: pairwise weight ≈ 100·popularity with in-topic jitter.
+	for _, t := range cfg.Topics {
+		ids := make([]int, len(t.Keywords))
+		for i, w := range t.Keywords {
+			ids[i] = index[w]
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				jit := 0.85 + 0.3*rng.Float64()
+				if t.Pop1 > 0 {
+					b1.AddEdge(ids[i], ids[j], 100*t.Pop1*jit)
+				}
+				jit = 0.85 + 0.3*rng.Float64()
+				if t.Pop2 > 0 {
+					b2.AddEdge(ids[i], ids[j], 100*t.Pop2*jit)
+				}
+			}
+		}
+	}
+	return &Keywords{
+		G1:     b1.Build(),
+		G2:     b2.Build(),
+		Labels: labels,
+		Topics: cfg.Topics,
+		Index:  index,
+	}
+}
+
+// EmergingGD returns G2 − G1: its DCS are the emerging topics.
+func (k *Keywords) EmergingGD() *graph.Graph { return graph.Difference(k.G1, k.G2) }
+
+// DisappearingGD returns G1 − G2: its DCS are the disappearing topics.
+func (k *Keywords) DisappearingGD() *graph.Graph { return graph.Difference(k.G2, k.G1) }
+
+// Words maps a vertex set to its keyword labels.
+func (k *Keywords) Words(S []int) []string {
+	out := make([]string, len(S))
+	for i, v := range S {
+		out[i] = k.Labels[v]
+	}
+	return out
+}

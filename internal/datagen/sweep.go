@@ -1,0 +1,69 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// SweepConfig parameterizes the density sweep behind Fig. 2: a family of
+// difference graphs with the same vertex count and growing positive density
+// m⁺/n, used to measure the SEACD-vs-SEA speed-up and SEA's expansion-error
+// rate as functions of density.
+type SweepConfig struct {
+	Seed      int64
+	N         int       // vertices per graph; default 800
+	Densities []float64 // target m⁺/n values; default {2, 5, 10, 20, 30, 40}
+	NegRatio  float64   // negative edges as a fraction of positive; default 0.5
+	Ensembles int       // planted dense groups per graph; default 4
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.N == 0 {
+		c.N = 800
+	}
+	if c.Densities == nil {
+		c.Densities = []float64{2, 5, 10, 20, 30, 40}
+	}
+	if c.NegRatio == 0 {
+		c.NegRatio = 0.5
+	}
+	if c.Ensembles == 0 {
+		c.Ensembles = 4
+	}
+	return c
+}
+
+// SweepPoint is one graph of the density sweep.
+type SweepPoint struct {
+	TargetDensity float64 // requested m⁺/n
+	GD            *graph.Graph
+}
+
+// DensitySweep generates the Fig. 2 graph family.
+func DensitySweep(cfg SweepConfig) []SweepPoint {
+	cfg = cfg.withDefaults()
+	out := make([]SweepPoint, 0, len(cfg.Densities))
+	for i, d := range cfg.Densities {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009))
+		n := cfg.N
+		b := graph.NewBuilder(n)
+		deg := powerLawWeights(rng, n, 2.2, 2*d) // avg degree 2·(m⁺/n)
+		chungLu(rng, b, deg, uniformWeight(0.5, 3))
+		used := make(map[int]bool)
+		for k := 0; k < cfg.Ensembles; k++ {
+			m := pickDistinct(rng, n, 4+rng.Intn(8), used)
+			plantClique(rng, b, m, uniformWeight(3, 8))
+		}
+		// Sprinkle negative edges.
+		neg := int(cfg.NegRatio * d * float64(n))
+		for e := 0; e < neg; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, -(0.5 + 2*rng.Float64()))
+			}
+		}
+		out = append(out, SweepPoint{TargetDensity: d, GD: b.Build()})
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package dataio reads and writes graphs as TSV edge lists, the interchange
+// format of the cmd/ tools:
+//
+//	# comment lines start with '#'
+//	n <vertex-count>
+//	<u> <v> <weight>
+//	...
+//
+// plus optional label files with one label per line (line i labels vertex i).
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// WriteGraph writes g in edge-list format.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	var werr error
+	g.VisitEdges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d\t%d\t%g\n", u, v, wt)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses edge-list format.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *graph.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("dataio: line %d: expected header \"n <count>\", got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dataio: line %d: bad vertex count %q", line, fields[1])
+			}
+			b = graph.NewBuilder(n)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataio: line %d: expected \"u v w\", got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataio: line %d: malformed edge %q", line, text)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dataio: line %d: non-finite weight %q", line, fields[2])
+		}
+		if u < 0 || u >= b.N() || v < 0 || v >= b.N() || u == v {
+			return nil, fmt.Errorf("dataio: line %d: invalid edge (%d,%d) for n=%d", line, u, v, b.N())
+		}
+		b.AddEdge(u, v, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dataio: missing \"n <count>\" header")
+	}
+	return b.Build(), nil
+}
+
+// WriteGraphFile writes g to path.
+func WriteGraphFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteGraph(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGraphFile reads a graph from path.
+func ReadGraphFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// WriteLabels writes one label per line.
+func WriteLabels(w io.Writer, labels []string) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range labels {
+		if strings.ContainsAny(l, "\n\r") {
+			return fmt.Errorf("dataio: label %q contains a newline", l)
+		}
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLabels reads one label per line.
+func ReadLabels(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []string
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+// WriteLabelsFile writes labels to path.
+func WriteLabelsFile(path string, labels []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteLabels(f, labels); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadLabelsFile reads labels from path.
+func ReadLabelsFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLabels(f)
+}

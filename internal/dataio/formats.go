@@ -1,0 +1,197 @@
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// This file adds readers/writers for common public graph formats so the
+// tools interoperate with existing datasets:
+//
+//   - SNAP-style edge lists: "u v [w]" lines, vertices remapped densely.
+//   - MatrixMarket coordinate format (symmetric, real or pattern).
+//
+// All readers reject self-loops silently (dropped, as is conventional for
+// these corpora) and merge parallel edges by weight summation.
+
+// ReadSNAP parses a SNAP-style edge list: one edge per line as "u v" or
+// "u v w", with '#' comments. Vertex ids may be arbitrary non-negative
+// integers; they are remapped to a dense [0, n) range. Returns the graph and
+// the original id of each vertex. Edges without a weight get weight 1.
+func ReadSNAP(r io.Reader) (*graph.Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type rawEdge struct {
+		u, v int64
+		w    float64
+	}
+	var edges []rawEdge
+	remap := make(map[int64]int)
+	var orig []int64
+	intern := func(id int64) int {
+		if v, ok := remap[id]; ok {
+			return v
+		}
+		v := len(orig)
+		remap[id] = v
+		orig = append(orig, id)
+		return v
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, nil, fmt.Errorf("dataio: snap line %d: expected \"u v [w]\", got %q", line, text)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 64)
+		v, err2 := strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil || u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("dataio: snap line %d: bad vertex ids %q", line, text)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, nil, fmt.Errorf("dataio: snap line %d: bad weight %q", line, fields[2])
+			}
+		}
+		if u == v {
+			continue // drop self-loops
+		}
+		edges = append(edges, rawEdge{u, v, w})
+		intern(u)
+		intern(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	b := graph.NewBuilder(len(orig))
+	for _, e := range edges {
+		b.AddEdge(remap[e.u], remap[e.v], e.w)
+	}
+	return b.Build(), orig, nil
+}
+
+// WriteSNAP writes the graph as "u v w" lines with a comment header.
+func WriteSNAP(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected weighted graph: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.VisitEdges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file describing a
+// symmetric (or general, symmetrized by averaging) sparse matrix as a graph.
+// Pattern matrices get weight 1. Entries are 1-indexed per the format.
+func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataio: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("dataio: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := header[3] == "pattern"
+	// Skip comments to the size line.
+	var n1, n2, nnz int
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(text, &n1, &n2, &nnz); err != nil {
+			return nil, fmt.Errorf("dataio: bad MatrixMarket size line %q", text)
+		}
+		break
+	}
+	if n1 != n2 {
+		return nil, fmt.Errorf("dataio: adjacency matrix must be square, got %dx%d", n1, n2)
+	}
+	b := graph.NewBuilder(n1)
+	read := 0
+	for sc.Scan() && read < nnz {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("dataio: short MatrixMarket entry %q", text)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || i < 1 || j < 1 || i > n1 || j > n1 {
+			return nil, fmt.Errorf("dataio: bad MatrixMarket indices %q", text)
+		}
+		w := 1.0
+		if !pattern {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("dataio: bad MatrixMarket value %q", fields[2])
+			}
+		}
+		read++
+		if i == j {
+			continue // drop the diagonal
+		}
+		b.AddEdge(i-1, j-1, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("dataio: MatrixMarket file ended after %d of %d entries", read, nnz)
+	}
+	return b.Build(), nil
+}
+
+// WriteMatrixMarket writes the graph as a symmetric real coordinate matrix.
+func WriteMatrixMarket(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n%d %d %d\n",
+		g.N(), g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.VisitEdges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		// Symmetric format stores the lower triangle: row ≥ column.
+		_, werr = fmt.Fprintf(bw, "%d %d %g\n", v+1, u+1, wt)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

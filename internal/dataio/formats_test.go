@@ -1,0 +1,173 @@
+package dataio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+func TestReadSNAP(t *testing.T) {
+	in := `# comment
+10 20
+20 30 2.5
+10 30 1.5
+5 5 9
+`
+	g, orig, err := ReadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("n = %d, want 3 (self-loop-only vertex 5 never interned)", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("m = %d, want 3", g.M())
+	}
+	// Vertex 10 is the first seen → id 0; unweighted edge gets weight 1.
+	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 {
+		t.Fatalf("orig = %v", orig)
+	}
+	if w := g.Weight(0, 1); w != 1 {
+		t.Fatalf("weight(10,20) = %v, want 1", w)
+	}
+	if w := g.Weight(1, 2); w != 2.5 {
+		t.Fatalf("weight(20,30) = %v, want 2.5", w)
+	}
+}
+
+func TestSNAPErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3 4\n",  // too many fields
+		"1\n",        // too few
+		"-1 2\n",     // negative id
+		"a b\n",      // non-integer
+		"1 2 NaN\n",  // non-finite
+		"1 2 +Inf\n", // non-finite
+	}
+	for i, in := range cases {
+		if _, _, err := ReadSNAP(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): expected error", i, in)
+		}
+	}
+}
+
+func TestSNAPRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := graph.NewBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, float64(rng.Intn(9)-4))
+			}
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteSNAP(&buf, g); err != nil {
+			return false
+		}
+		g2, _, err := ReadSNAP(&buf)
+		if err != nil {
+			return false
+		}
+		// Isolated vertices are not representable in SNAP, so compare edges.
+		if g2.M() != g.M() || g2.TotalWeight() != g.TotalWeight() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMatrixMarket(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+4 4 3
+2 1 5.0
+3 1 -2
+4 4 9
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 4, 2 (diagonal dropped)", g.N(), g.M())
+	}
+	if w := g.Weight(0, 1); w != 5 {
+		t.Fatalf("weight = %v, want 5", w)
+	}
+	if w := g.Weight(0, 2); w != -2 {
+		t.Fatalf("weight = %v, want -2", w)
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.Weight(0, 1) != 1 {
+		t.Fatal("pattern entries must get weight 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1\n", // non-square
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 2 1\n", // truncated
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 2 1\n", // bad index
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 NaN\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		b := graph.NewBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, float64(rng.Intn(9)-4)/2)
+			}
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		ok := true
+		g.VisitEdges(func(u, v int, w float64) {
+			if g2.Weight(u, v) != w {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips losslessly.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 3\n0 1 2.5\n1 2 -1\n")
+	f.Add("# comment\nn 1\n")
+	f.Add("n 0\n")
+	f.Add("n 5\n0 4 1e300\n")
+	f.Add("n 2\n0 1 0\n")
+	f.Add("n two\n")
+	f.Add("0 1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadGraph(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+		ok := true
+		g.VisitEdges(func(u, v int, w float64) {
+			if g2.Weight(u, v) != w {
+				ok = false
+			}
+		})
+		if !ok {
+			t.Fatal("round trip changed weights")
+		}
+	})
+}

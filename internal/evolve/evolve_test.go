@@ -1,0 +1,152 @@
+package evolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// baseGraph builds a stable background graph.
+func baseGraph(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for k := 0; k < 3*n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, 1+rng.Float64())
+		}
+	}
+	return b.Build()
+}
+
+// withClique overlays a heavy clique on the base graph.
+func withClique(base *graph.Graph, members []int, w float64) *graph.Graph {
+	b := graph.NewBuilder(base.N())
+	base.VisitEdges(func(u, v int, wt float64) { b.AddEdge(u, v, wt) })
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			b.AddEdge(members[i], members[j], w)
+		}
+	}
+	return b.Build()
+}
+
+func TestAnomalySurfacesThenAbsorbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 120
+	base := baseGraph(rng, n)
+	tr := New(n, Config{Lambda: 0.5, MinDensity: 3})
+
+	// Warm up on the steady state.
+	for i := 0; i < 5; i++ {
+		if rep := tr.Observe(base); i > 1 && rep.Anomalous() {
+			t.Fatalf("steady state flagged at step %d: %v", rep.Step, rep)
+		}
+	}
+	// Inject an anomaly: must surface immediately.
+	members := []int{3, 17, 42, 77}
+	anomalous := withClique(base, members, 20)
+	rep := tr.Observe(anomalous)
+	if !rep.Anomalous() {
+		t.Fatal("injected clique not detected")
+	}
+	found := map[int]bool{}
+	for _, v := range rep.S {
+		found[v] = true
+	}
+	for _, m := range members {
+		if !found[m] {
+			t.Fatalf("detected set %v misses planted member %d", rep.S, m)
+		}
+	}
+	// Keep the anomaly around: the expectation absorbs it within a few steps
+	// and the contrast fades below threshold.
+	absorbed := false
+	for i := 0; i < 10; i++ {
+		if rep := tr.Observe(anomalous); !rep.Anomalous() {
+			absorbed = true
+			break
+		}
+	}
+	if !absorbed {
+		t.Fatal("persistent structure never absorbed into the expectation")
+	}
+}
+
+func TestExpectationConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50
+	base := baseGraph(rng, n)
+	tr := New(n, Config{Lambda: 0.5})
+	for i := 0; i < 20; i++ {
+		tr.Observe(base)
+	}
+	// Expectation ≈ base: total weights converge.
+	if math.Abs(tr.Expectation().TotalWeight()-base.TotalWeight()) > 1e-3*math.Abs(base.TotalWeight()) {
+		t.Fatalf("expectation total weight %v, observed %v",
+			tr.Expectation().TotalWeight(), base.TotalWeight())
+	}
+	if tr.Step() != 20 {
+		t.Fatalf("step = %d, want 20", tr.Step())
+	}
+}
+
+func TestGAModeFindsClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 80
+	base := baseGraph(rng, n)
+	tr := New(n, Config{Lambda: 0.5, GA: true, MinDensity: 1})
+	for i := 0; i < 4; i++ {
+		tr.Observe(base)
+	}
+	members := []int{5, 6, 7}
+	rep := tr.Observe(withClique(base, members, 30))
+	if !rep.Anomalous() {
+		t.Fatal("GA mode missed the planted clique")
+	}
+	if rep.Affinity <= 0 {
+		t.Fatal("GA report must carry affinity")
+	}
+	for _, v := range rep.S {
+		if v != 5 && v != 6 && v != 7 {
+			t.Fatalf("GA set %v contains non-planted vertex", rep.S)
+		}
+	}
+}
+
+func TestObservePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(5, Config{}).Observe(graph.NewBuilder(4).Build())
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Step: 3}
+	if r.Anomalous() || r.String() == "" {
+		t.Fatal("empty report misbehaves")
+	}
+	r2 := Report{Step: 4, S: []int{1, 2}, Contrast: 5}
+	if !r2.Anomalous() || r2.String() == "" {
+		t.Fatal("non-empty report misbehaves")
+	}
+}
+
+func TestBlendSemantics(t *testing.T) {
+	// Blend drives the EWMA: check the identity against manual computation.
+	b1 := graph.NewBuilder(3)
+	b1.AddEdge(0, 1, 4)
+	b2 := graph.NewBuilder(3)
+	b2.AddEdge(0, 1, 2)
+	b2.AddEdge(1, 2, 6)
+	g := graph.Blend(b1.Build(), b2.Build(), 0.75, 0.25)
+	if w := g.Weight(0, 1); math.Abs(w-3.5) > 1e-12 {
+		t.Fatalf("blend weight = %v, want 3.5", w)
+	}
+	if w := g.Weight(1, 2); math.Abs(w-1.5) > 1e-12 {
+		t.Fatalf("blend weight = %v, want 1.5", w)
+	}
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Parallel edges
+// are merged by summing their weights; edges whose merged weight is exactly
+// zero are dropped. Self-loops are rejected: neither density measure in the
+// paper is defined over self-loops.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of vertices the built graph will have.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records the undirected edge (u, v) with weight w. Zero-weight edges
+// are ignored. Adding the same pair again accumulates the weight.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if w == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+}
+
+// Build finalizes the graph. The Builder may be reused afterwards; already
+// recorded edges stay recorded.
+func (b *Builder) Build() *Graph {
+	es := make([]Edge, len(b.edges))
+	copy(es, b.edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	// Merge duplicates.
+	merged := es[:0]
+	for _, e := range es {
+		if len(merged) > 0 && merged[len(merged)-1].U == e.U && merged[len(merged)-1].V == e.V {
+			merged[len(merged)-1].W += e.W
+			continue
+		}
+		merged = append(merged, e)
+	}
+	deg := make([]int, b.n)
+	m := 0
+	var tw float64
+	for _, e := range merged {
+		if e.W == 0 {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+		m++
+		tw += e.W
+	}
+	adj := make([][]Neighbor, b.n)
+	for u := range adj {
+		adj[u] = make([]Neighbor, 0, deg[u])
+	}
+	for _, e := range merged {
+		if e.W == 0 {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], Neighbor{To: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], Neighbor{To: e.U, W: e.W})
+	}
+	// adj[u] built from edges sorted by (U,V): entries with To > u are already
+	// ascending, and entries with To < u were appended in ascending U order as
+	// well, but interleaving of the two passes can break global order; sort to
+	// guarantee the invariant cheaply (rows are typically short).
+	for u := range adj {
+		row := adj[u]
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i].To < row[j].To }) {
+			sort.Slice(row, func(i, j int) bool { return row[i].To < row[j].To })
+		}
+	}
+	return &Graph{n: b.n, m: m, adj: adj, totalW: tw}
+}
+
+// FromEdges builds a graph with n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n with uniform edge weight w.
+func Complete(n int, w float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, w)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,66 @@
+package graph
+
+// ConnectedComponents partitions the vertex set S into the connected
+// components of the induced subgraph G(S). Components are returned as vertex
+// sets in the original graph's ids; singleton vertices form their own
+// component. Edge signs are ignored: a negative edge still connects.
+//
+// DCSGreedy (Algorithm 2, line 9) uses this to refine a disconnected solution
+// into its best component, which never lowers the density (Property 1).
+func (g *Graph) ConnectedComponents(S []int) [][]int {
+	in := make(map[int]bool, len(S))
+	for _, v := range S {
+		in[v] = true
+	}
+	seen := make(map[int]bool, len(S))
+	var comps [][]int
+	var stack []int
+	for _, s := range S {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack = append(stack[:0], s)
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, nb := range g.adj[u] {
+				if in[nb.To] && !seen[nb.To] {
+					seen[nb.To] = true
+					stack = append(stack, nb.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the subgraph induced by S is connected. The
+// empty set and singletons are connected by convention.
+func (g *Graph) IsConnected(S []int) bool {
+	if len(S) <= 1 {
+		return true
+	}
+	return len(g.ConnectedComponents(S)) == 1
+}
+
+// BestComponent returns the connected component of G(S) with the highest
+// average-degree density ρ(S') = W(S')/|S'|, implementing line 9 of
+// Algorithm 2. It returns S itself (and its density) when S is empty.
+func (g *Graph) BestComponent(S []int) ([]int, float64) {
+	if len(S) == 0 {
+		return S, 0
+	}
+	comps := g.ConnectedComponents(S)
+	best := comps[0]
+	bestRho := g.AverageDegreeOf(best)
+	for _, c := range comps[1:] {
+		if rho := g.AverageDegreeOf(c); rho > bestRho {
+			best, bestRho = c, rho
+		}
+	}
+	return best, bestRho
+}

@@ -1,0 +1,334 @@
+// Package graph provides the weighted undirected graph substrate used by all
+// density-contrast-subgraph (DCS) algorithms.
+//
+// Vertices are dense integers in [0, n). Edge weights are float64 and may be
+// negative: the central object of the DCS problem is the difference graph
+// GD = G2 − αG1, whose affinity matrix D = A2 − αA1 mixes positive and
+// negative entries. All adjacency lists are kept sorted by neighbor id, which
+// lets Difference build GD with a linear merge and lets Weight answer point
+// queries by binary search.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Neighbor is one entry of an adjacency list: an incident edge to vertex To
+// with weight W. W is never zero in a built Graph.
+type Neighbor struct {
+	To int
+	W  float64
+}
+
+// Edge is an undirected edge (U, V) with weight W. A canonical edge has U < V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is an immutable undirected weighted graph. The zero value is an empty
+// graph with no vertices; use NewBuilder or FromEdges to construct non-empty
+// graphs.
+type Graph struct {
+	n      int
+	m      int // number of undirected edges
+	adj    [][]Neighbor
+	totalW float64 // sum of weights over undirected edges
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// TotalWeight returns the sum of edge weights over all undirected edges.
+func (g *Graph) TotalWeight() float64 { return g.totalW }
+
+// Neighbors returns the adjacency list of u, sorted by neighbor id. The
+// returned slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Neighbor { return g.adj[u] }
+
+// OutDegree returns the number of edges incident to u.
+func (g *Graph) OutDegree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the sum of weights of edges incident to u, i.e. u's
+// degree W(u; G) in the whole graph.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	for _, nb := range g.adj[u] {
+		s += nb.W
+	}
+	return s
+}
+
+// Weight returns the weight of edge (u, v), or 0 if the edge does not exist.
+func (g *Graph) Weight(u, v int) float64 {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= v })
+	if i < len(a) && a[i].To == v {
+		return a[i].W
+	}
+	return 0
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) != 0 }
+
+// Edges returns every undirected edge once, with U < V, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, nb := range g.adj[u] {
+			if nb.To > u {
+				out = append(out, Edge{U: u, V: nb.To, W: nb.W})
+			}
+		}
+	}
+	return out
+}
+
+// VisitEdges calls fn for every undirected edge once, with u < v.
+func (g *Graph) VisitEdges(fn func(u, v int, w float64)) {
+	for u := 0; u < g.n; u++ {
+		for _, nb := range g.adj[u] {
+			if nb.To > u {
+				fn(u, nb.To, nb.W)
+			}
+		}
+	}
+}
+
+// TotalDegreeOf returns W(S) = Σ_{(u,v)∈E(S)} A(u,v) exactly as the paper
+// defines it: E(S) contains both (u,v) and (v,u), so every undirected edge
+// inside S contributes its weight twice. Equivalently, W(S) is the sum over
+// u ∈ S of u's weighted degree inside G(S); a unit-weight k-clique has
+// W(S) = k(k−1) and average degree ρ(S) = k−1. Duplicate entries in S are an
+// error in the caller; the result is then undefined.
+func (g *Graph) TotalDegreeOf(S []int) float64 {
+	in := make(map[int]bool, len(S))
+	for _, v := range S {
+		in[v] = true
+	}
+	var w float64
+	for _, u := range S {
+		for _, nb := range g.adj[u] {
+			if in[nb.To] {
+				w += nb.W
+			}
+		}
+	}
+	return w
+}
+
+// AverageDegreeOf returns ρ(S) = W(S)/|S|, the average-degree density of the
+// subgraph induced by S. It returns 0 for an empty S.
+func (g *Graph) AverageDegreeOf(S []int) float64 {
+	if len(S) == 0 {
+		return 0
+	}
+	return g.TotalDegreeOf(S) / float64(len(S))
+}
+
+// EdgeDensityOf returns W(S)/|S|², the edge density of the subgraph induced
+// by S (the discrete analogue of graph affinity). It returns 0 for empty S.
+func (g *Graph) EdgeDensityOf(S []int) float64 {
+	if len(S) == 0 {
+		return 0
+	}
+	return g.TotalDegreeOf(S) / float64(len(S)*len(S))
+}
+
+// DegreeIn returns W(u; G(S)): u's weighted degree inside the subgraph
+// induced by the membership set in (in[v] == true iff v ∈ S).
+func (g *Graph) DegreeIn(u int, in []bool) float64 {
+	var s float64
+	for _, nb := range g.adj[u] {
+		if in[nb.To] {
+			s += nb.W
+		}
+	}
+	return s
+}
+
+// Induced returns the subgraph induced by S as a standalone Graph over
+// vertices [0, len(S)), together with the mapping local→original (which is a
+// copy of S). Vertices in S keep their relative order.
+func (g *Graph) Induced(S []int) (*Graph, []int) {
+	local := make(map[int]int, len(S))
+	orig := make([]int, len(S))
+	for i, v := range S {
+		local[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(S))
+	for i, v := range S {
+		for _, nb := range g.adj[v] {
+			if j, ok := local[nb.To]; ok && nb.To > v {
+				b.AddEdge(i, j, nb.W)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// IsPositiveClique reports whether the subgraph induced by S is a clique all
+// of whose edges have strictly positive weight. Singletons and the empty set
+// are positive cliques by convention.
+func (g *Graph) IsPositiveClique(S []int) bool {
+	for i := 0; i < len(S); i++ {
+		for j := i + 1; j < len(S); j++ {
+			if g.Weight(S[i], S[j]) <= 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxEdge returns the maximum-weight edge of the graph and true, or a zero
+// Edge and false when the graph has no edges.
+func (g *Graph) MaxEdge() (Edge, bool) {
+	best := Edge{}
+	found := false
+	g.VisitEdges(func(u, v int, w float64) {
+		if !found || w > best.W {
+			best = Edge{U: u, V: v, W: w}
+			found = true
+		}
+	})
+	return best, found
+}
+
+// PositivePart returns GD+: the graph over the same vertex set containing
+// exactly the edges of g with strictly positive weight.
+func (g *Graph) PositivePart() *Graph {
+	adj := make([][]Neighbor, g.n)
+	m := 0
+	var tw float64
+	for u := 0; u < g.n; u++ {
+		var row []Neighbor
+		for _, nb := range g.adj[u] {
+			if nb.W > 0 {
+				row = append(row, nb)
+			}
+		}
+		adj[u] = row
+		for _, nb := range row {
+			if nb.To > u {
+				m++
+				tw += nb.W
+			}
+		}
+	}
+	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+}
+
+// Negate returns the graph with every edge weight multiplied by −1. Mining a
+// "disappearing" DCS on GD is mining an "emerging" DCS on Negate(GD).
+func (g *Graph) Negate() *Graph {
+	return g.Scale(-1)
+}
+
+// Scale returns the graph with every edge weight multiplied by c. A zero c
+// yields an edgeless graph.
+func (g *Graph) Scale(c float64) *Graph {
+	if c == 0 {
+		return &Graph{n: g.n, adj: make([][]Neighbor, g.n)}
+	}
+	adj := make([][]Neighbor, g.n)
+	for u := 0; u < g.n; u++ {
+		row := make([]Neighbor, len(g.adj[u]))
+		for i, nb := range g.adj[u] {
+			row[i] = Neighbor{To: nb.To, W: nb.W * c}
+		}
+		adj[u] = row
+	}
+	return &Graph{n: g.n, m: g.m, adj: adj, totalW: g.totalW * c}
+}
+
+// WithoutVertices returns the graph with every vertex of S isolated (all its
+// incident edges removed). The vertex count is unchanged, so ids remain
+// stable — used by iterative top-k contrast mining to exclude previously
+// found subgraphs.
+func (g *Graph) WithoutVertices(S []int) *Graph {
+	drop := make(map[int]bool, len(S))
+	for _, v := range S {
+		drop[v] = true
+	}
+	adj := make([][]Neighbor, g.n)
+	m := 0
+	var tw float64
+	for u := 0; u < g.n; u++ {
+		if drop[u] {
+			adj[u] = nil
+			continue
+		}
+		var row []Neighbor
+		for _, nb := range g.adj[u] {
+			if !drop[nb.To] {
+				row = append(row, nb)
+			}
+		}
+		adj[u] = row
+		for _, nb := range row {
+			if nb.To > u {
+				m++
+				tw += nb.W
+			}
+		}
+	}
+	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+}
+
+// Stats summarizes a (difference) graph the way Table II of the paper does.
+type Stats struct {
+	N       int     // number of vertices
+	MPos    int     // edges with positive weight
+	MNeg    int     // edges with negative weight
+	MaxW    float64 // maximum edge weight (0 when there are no edges)
+	MinW    float64 // minimum edge weight (0 when there are no edges)
+	AvgW    float64 // average edge weight over all edges
+	TotalW  float64 // sum of all edge weights
+	MaxDeg  int     // maximum unweighted degree
+	Density float64 // m⁺/n, the density measure used by Fig. 2
+}
+
+// ComputeStats returns Table-II style statistics for the graph.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{N: g.n, TotalW: g.totalW}
+	first := true
+	g.VisitEdges(func(u, v int, w float64) {
+		if w > 0 {
+			st.MPos++
+		} else if w < 0 {
+			st.MNeg++
+		}
+		if first {
+			st.MaxW, st.MinW = w, w
+			first = false
+		} else {
+			st.MaxW = math.Max(st.MaxW, w)
+			st.MinW = math.Min(st.MinW, w)
+		}
+	})
+	if g.m > 0 {
+		st.AvgW = g.totalW / float64(g.m)
+	}
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > st.MaxDeg {
+			st.MaxDeg = d
+		}
+	}
+	if g.n > 0 {
+		st.Density = float64(st.MPos) / float64(g.n)
+	}
+	return st
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m+=%d m-=%d maxW=%.4g minW=%.4g avgW=%.4g",
+		s.N, s.MPos, s.MNeg, s.MaxW, s.MinW, s.AvgW)
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWithoutVertices(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(3, 4, -1)
+	g := b.Build()
+	g2 := g.WithoutVertices([]int{1})
+	if g2.N() != 5 {
+		t.Fatal("vertex count must be preserved")
+	}
+	if g2.M() != 1 {
+		t.Fatalf("M = %d, want 1 (only (3,4) survives)", g2.M())
+	}
+	if g2.HasEdge(0, 1) || g2.HasEdge(1, 2) {
+		t.Fatal("edges incident to removed vertex must vanish")
+	}
+	if g2.Weight(3, 4) != -1 {
+		t.Fatal("unrelated edge must keep its weight")
+	}
+	// Original untouched.
+	if g.M() != 3 {
+		t.Fatal("WithoutVertices must not mutate the receiver")
+	}
+}
+
+// Property: WithoutVertices equals rebuilding from the filtered edge list.
+func TestWithoutVerticesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, float64(rng.Intn(9)-4))
+			}
+		}
+		g := b.Build()
+		var drop []int
+		dropSet := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				drop = append(drop, v)
+				dropSet[v] = true
+			}
+		}
+		got := g.WithoutVertices(drop)
+		want := NewBuilder(n)
+		g.VisitEdges(func(u, v int, w float64) {
+			if !dropSet[u] && !dropSet[v] {
+				want.AddEdge(u, v, w)
+			}
+		})
+		wg := want.Build()
+		if got.M() != wg.M() || got.TotalWeight() != wg.TotalWeight() {
+			return false
+		}
+		ok := true
+		wg.VisitEdges(func(u, v int, w float64) {
+			if got.Weight(u, v) != w {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

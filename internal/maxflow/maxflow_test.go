@@ -1,0 +1,112 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example: max flow 23.
+	// s=0, t=5. Arcs: 0→1:16, 0→2:13, 1→2:10, 2→1:4, 1→3:12, 3→2:9,
+	// 2→4:14, 4→3:7, 3→5:20, 4→5:4.
+	f := New(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.Solve(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || side[5] {
+		t.Fatal("min cut side must contain s and not t")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	f := New(4)
+	f.AddArc(0, 1, 5)
+	f.AddArc(2, 3, 5)
+	if got := f.Solve(0, 3); got != 0 {
+		t.Fatalf("flow across disconnected pair = %v, want 0", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("cut side = %v", side)
+	}
+}
+
+func TestUndirectedEdge(t *testing.T) {
+	// s - a - t with undirected middle: flow limited by min capacity.
+	f := New(3)
+	f.AddArc(0, 1, 10)
+	f.AddEdge(1, 2, 3)
+	if got := f.Solve(0, 2); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("flow = %v, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	f := New(4)
+	f.AddArc(0, 1, 2)
+	f.AddArc(1, 3, 2)
+	f.AddArc(0, 2, 3)
+	f.AddArc(2, 3, 1)
+	if got := f.Solve(0, 3); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("flow = %v, want 3", got)
+	}
+}
+
+// Property: max flow equals min cut capacity on random DAG-ish networks.
+func TestFlowEqualsCutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		type e struct {
+			u, v int
+			c    float64
+		}
+		var arcs []e
+		net := New(n)
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(1 + rng.Intn(10))
+			net.AddArc(u, v, c)
+			arcs = append(arcs, e{u, v, c})
+		}
+		flow := net.Solve(0, n-1)
+		side := net.MinCutSide(0)
+		if !side[0] || side[n-1] {
+			return false
+		}
+		var cut float64
+		for _, a := range arcs {
+			if side[a.u] && !side[a.v] {
+				cut += a.c
+			}
+		}
+		return math.Abs(flow-cut) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	f := New(2)
+	f.AddArc(0, 1, -5)
+	if got := f.Solve(0, 1); got != 0 {
+		t.Fatalf("negative capacity must act as 0, got flow %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Package segtree implements a fixed-size segment tree over vertices with
+// point updates and argmin queries.
+//
+// The paper's complexity analysis of Algorithm 1 ("if we adopt a segment
+// tree [3] to store the current degrees of vertices in S1") uses exactly this
+// structure: leaf v holds the current weighted degree of vertex v (or +inf
+// once v has been peeled), internal nodes hold the index of the minimum leaf
+// below them, so the minimum-degree vertex is found in O(1) and each degree
+// update costs O(log n).
+package segtree
+
+import "math"
+
+// Tree is a segment tree supporting point assignment and global argmin.
+type Tree struct {
+	n    int
+	size int       // number of leaves (power of two ≥ n)
+	val  []float64 // leaf values, indexed by vertex
+	min  []int     // min[i] = index of the min leaf in the subtree at node i
+}
+
+// New builds a tree over len(vals) vertices initialized to vals, in O(n).
+func New(vals []float64) *Tree {
+	n := len(vals)
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	if n == 0 {
+		size = 1
+	}
+	t := &Tree{n: n, size: size, val: make([]float64, size), min: make([]int, 2*size)}
+	for i := 0; i < size; i++ {
+		if i < n {
+			t.val[i] = vals[i]
+		} else {
+			t.val[i] = math.Inf(1)
+		}
+		t.min[size+i] = i
+	}
+	for i := size - 1; i >= 1; i-- {
+		t.min[i] = t.merge(t.min[2*i], t.min[2*i+1])
+	}
+	return t
+}
+
+func (t *Tree) merge(a, b int) int {
+	if t.val[b] < t.val[a] || (t.val[b] == t.val[a] && b < a) {
+		return b
+	}
+	return a
+}
+
+// Len returns the number of vertices the tree was built over.
+func (t *Tree) Len() int { return t.n }
+
+// Value returns the current value at vertex v.
+func (t *Tree) Value(v int) float64 { return t.val[v] }
+
+// Set assigns value x to vertex v in O(log n).
+func (t *Tree) Set(v int, x float64) {
+	t.val[v] = x
+	for i := (t.size + v) / 2; i >= 1; i /= 2 {
+		t.min[i] = t.merge(t.min[2*i], t.min[2*i+1])
+	}
+}
+
+// Add increments vertex v's value by delta in O(log n).
+func (t *Tree) Add(v int, delta float64) {
+	t.Set(v, t.val[v]+delta)
+}
+
+// Disable removes vertex v from argmin consideration by setting its value to
+// +inf. Used when a vertex is peeled out of the working subgraph.
+func (t *Tree) Disable(v int) {
+	t.Set(v, math.Inf(1))
+}
+
+// Enabled reports whether v still participates in argmin queries.
+func (t *Tree) Enabled(v int) bool { return !math.IsInf(t.val[v], 1) }
+
+// ArgMin returns the vertex with the minimum value (smallest id wins ties)
+// and that value, in O(1). If every vertex is disabled (or n == 0) it returns
+// (-1, +inf).
+func (t *Tree) ArgMin() (v int, x float64) {
+	v = t.min[1]
+	x = t.val[v]
+	if math.IsInf(x, 1) {
+		return -1, x
+	}
+	return v, x
+}

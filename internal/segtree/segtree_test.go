@@ -1,0 +1,109 @@
+package segtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicArgMin(t *testing.T) {
+	tr := New([]float64{3, 1, 2})
+	if v, x := tr.ArgMin(); v != 1 || x != 1 {
+		t.Fatalf("argmin = (%d,%v), want (1,1)", v, x)
+	}
+	tr.Set(2, 0.5)
+	if v, _ := tr.ArgMin(); v != 2 {
+		t.Fatalf("argmin after Set = %d, want 2", v)
+	}
+	tr.Add(2, 10)
+	if v, _ := tr.ArgMin(); v != 1 {
+		t.Fatalf("argmin after Add = %d, want 1", v)
+	}
+	tr.Disable(1)
+	if tr.Enabled(1) {
+		t.Fatal("vertex 1 should be disabled")
+	}
+	if v, _ := tr.ArgMin(); v != 0 {
+		t.Fatalf("argmin after Disable = %d, want 0", v)
+	}
+	tr.Disable(0)
+	tr.Disable(2)
+	if v, x := tr.ArgMin(); v != -1 || !math.IsInf(x, 1) {
+		t.Fatalf("all disabled: argmin = (%d,%v), want (-1,+inf)", v, x)
+	}
+}
+
+func TestTieBreakSmallestID(t *testing.T) {
+	tr := New([]float64{2, 2, 2, 2})
+	if v, _ := tr.ArgMin(); v != 0 {
+		t.Fatalf("tie-break: argmin = %d, want 0", v)
+	}
+	tr.Disable(0)
+	if v, _ := tr.ArgMin(); v != 1 {
+		t.Fatalf("tie-break after disable: argmin = %d, want 1", v)
+	}
+}
+
+func TestNonPowerOfTwoAndEmpty(t *testing.T) {
+	tr := New([]float64{5, 4, 3, 2, 1})
+	if v, _ := tr.ArgMin(); v != 4 {
+		t.Fatalf("argmin = %d, want 4", v)
+	}
+	empty := New(nil)
+	if v, x := empty.ArgMin(); v != -1 || !math.IsInf(x, 1) {
+		t.Fatalf("empty tree argmin = (%d,%v)", v, x)
+	}
+}
+
+// Property: segment tree argmin always agrees with a brute-force scan under
+// random mutation sequences.
+func TestArgMinMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(100))
+		}
+		tr := New(vals)
+		ref := make([]float64, n)
+		copy(ref, vals)
+		for step := 0; step < 3*n; step++ {
+			v := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				x := float64(rng.Intn(100))
+				tr.Set(v, x)
+				ref[v] = x
+			case 1:
+				d := float64(rng.Intn(21) - 10)
+				if !math.IsInf(ref[v], 1) {
+					tr.Add(v, d)
+					ref[v] += d
+				}
+			case 2:
+				tr.Disable(v)
+				ref[v] = math.Inf(1)
+			}
+			// Brute-force argmin with smallest-id tie-break.
+			bi, bx := -1, math.Inf(1)
+			for i, x := range ref {
+				if x < bx {
+					bi, bx = i, x
+				}
+			}
+			gi, gx := tr.ArgMin()
+			if bi != gi {
+				return false
+			}
+			if bi != -1 && bx != gx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

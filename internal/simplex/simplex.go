@@ -1,0 +1,237 @@
+// Package simplex implements subgraph embeddings x ∈ Δn for the graph
+// affinity density measure.
+//
+// A subgraph embedding is a point of the standard simplex
+// Δn = {x | Σ xi = 1, xi ≥ 0}; entry xu is the participation of vertex u in
+// the subgraph, the support set Sx = {u | xu > 0} is the subgraph itself, and
+// the density is the graph affinity f(x) = xᵀAx (Eq. 2 of the paper). The
+// DCSGA machinery in internal/core manipulates these vectors through the
+// sparse representation here: supports stay small even on large graphs, so
+// every operation is priced in |support| and its boundary, never in n.
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// Vector is a sparse non-negative vector over n vertices, normally on the
+// simplex (entries sum to 1). Entries that are absent are zero; entries that
+// are present are strictly positive.
+type Vector struct {
+	n int
+	x map[int]float64
+}
+
+// New returns the zero vector over n vertices (not on the simplex until
+// entries are set and normalized).
+func New(n int) *Vector {
+	return &Vector{n: n, x: make(map[int]float64)}
+}
+
+// Indicator returns e_u: the embedding of the single-vertex subgraph {u}.
+func Indicator(n, u int) *Vector {
+	v := New(n)
+	v.Set(u, 1)
+	return v
+}
+
+// Uniform returns the embedding that spreads mass 1/|S| over each vertex of
+// S. S must be non-empty.
+func Uniform(n int, S []int) *Vector {
+	if len(S) == 0 {
+		panic("simplex: Uniform over empty set")
+	}
+	v := New(n)
+	w := 1 / float64(len(S))
+	for _, u := range S {
+		v.x[u] = w
+	}
+	return v
+}
+
+// N returns the dimension (number of vertices).
+func (v *Vector) N() int { return v.n }
+
+// Get returns xu.
+func (v *Vector) Get(u int) float64 { return v.x[u] }
+
+// Set assigns xu = val. Negative values (including tiny negative round-off)
+// and zeros clear the entry.
+func (v *Vector) Set(u int, val float64) {
+	if u < 0 || u >= v.n {
+		panic(fmt.Sprintf("simplex: vertex %d out of range [0,%d)", u, v.n))
+	}
+	if val <= 0 {
+		delete(v.x, u)
+		return
+	}
+	v.x[u] = val
+}
+
+// Support returns Sx = {u | xu > 0} in increasing order.
+func (v *Vector) Support() []int {
+	S := make([]int, 0, len(v.x))
+	for u := range v.x {
+		S = append(S, u)
+	}
+	sort.Ints(S)
+	return S
+}
+
+// SupportSize returns |Sx| without materializing the sorted slice.
+func (v *Vector) SupportSize() int { return len(v.x) }
+
+// Sum returns Σ xu (1 for a simplex point, up to round-off). Accumulation
+// follows increasing vertex order for reproducibility.
+func (v *Vector) Sum() float64 {
+	var s float64
+	for _, u := range v.Support() {
+		s += v.x[u]
+	}
+	return s
+}
+
+// Normalize rescales the vector onto the simplex (divides by Sum). It panics
+// on the zero vector.
+func (v *Vector) Normalize() {
+	s := v.Sum()
+	if s <= 0 {
+		panic("simplex: cannot normalize zero vector")
+	}
+	for u := range v.x {
+		v.x[u] /= s
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, x: make(map[int]float64, len(v.x))}
+	for u, val := range v.x {
+		c.x[u] = val
+	}
+	return c
+}
+
+// Visit calls fn for every non-zero entry in increasing vertex order. The
+// deterministic order matters: floating-point accumulation over the support
+// must not depend on map iteration order, or repeated runs of the iterative
+// solvers diverge in their round-off and lose reproducibility.
+func (v *Vector) Visit(fn func(u int, val float64)) {
+	for _, u := range v.Support() {
+		fn(u, v.x[u])
+	}
+}
+
+// OnSimplex reports whether v lies on the simplex within tolerance tol.
+func (v *Vector) OnSimplex(tol float64) bool {
+	return math.Abs(v.Sum()-1) <= tol
+}
+
+// Affinity returns f(x) = xᵀDx computed against the graph's affinity matrix:
+// Σ over ordered pairs (u,v) of xu·xv·D(u,v), i.e. each undirected edge
+// contributes twice — matching Eq. 2 and the paper's W(S) convention. Cost is
+// O(Σ_{u∈Sx} deg(u)).
+func Affinity(g *graph.Graph, v *Vector) float64 {
+	var f float64
+	v.Visit(func(u int, xu float64) {
+		for _, nb := range g.Neighbors(u) {
+			if xv, ok := v.x[nb.To]; ok {
+				f += xu * xv * nb.W
+			}
+		}
+	})
+	return f
+}
+
+// DxEntry returns (Dx)_u = Σ_v D(u,v)·xv for a single vertex.
+func DxEntry(g *graph.Graph, v *Vector, u int) float64 {
+	var s float64
+	for _, nb := range g.Neighbors(u) {
+		if xv, ok := v.x[nb.To]; ok {
+			s += nb.W * xv
+		}
+	}
+	return s
+}
+
+// Gradient returns ∇u f(x) = 2(Dx)_u.
+func Gradient(g *graph.Graph, v *Vector, u int) float64 {
+	return 2 * DxEntry(g, v, u)
+}
+
+// GradientMap returns ∇f(x) restricted to the set of vertices where it can be
+// non-zero: the support of x and every neighbor of the support. All other
+// vertices have gradient exactly 0 (they have no edge into Sx).
+func GradientMap(g *graph.Graph, v *Vector) map[int]float64 {
+	grad := make(map[int]float64, 2*len(v.x))
+	v.Visit(func(u int, xu float64) {
+		grad[u] += 0 // ensure support vertices are present even if isolated
+		for _, nb := range g.Neighbors(u) {
+			grad[nb.To] += 2 * nb.W * xu
+		}
+	})
+	return grad
+}
+
+// KKTViolation measures how far x is from the KKT conditions of
+// max xᵀDx s.t. x ∈ Δn (Eq. 8):
+//
+//	max_{k: xk<1} ∇k f(x) ≤ min_{k: xk>0} ∇k f(x)
+//
+// It returns max_{k:xk<1} ∇k − min_{k:xk>0} ∇k; a value ≤ tol means x is a
+// KKT point at precision tol. Vertices outside the gradient map have
+// gradient 0 and participate in the max when the support does not cover all
+// of V.
+func KKTViolation(g *graph.Graph, v *Vector) float64 {
+	grad := GradientMap(g, v)
+	maxAny := math.Inf(-1)
+	minSupp := math.Inf(1)
+	for u, gu := range grad {
+		if v.x[u] < 1 && gu > maxAny {
+			maxAny = gu
+		}
+		if v.x[u] > 0 && gu < minSupp {
+			minSupp = gu
+		}
+	}
+	// Vertices with zero gradient that are not in the map: they exist whenever
+	// the gradient map does not cover all n vertices, and they all have xk = 0
+	// (< 1), contributing max ≥ 0.
+	if len(grad) < v.n && maxAny < 0 {
+		maxAny = 0
+	}
+	if math.IsInf(minSupp, 1) || math.IsInf(maxAny, -1) {
+		return 0 // degenerate: no support or single-vertex full mass
+	}
+	return maxAny - minSupp
+}
+
+// IsKKT reports whether x satisfies the KKT conditions within tol.
+func IsKKT(g *graph.Graph, v *Vector, tol float64) bool {
+	return KKTViolation(g, v) <= tol
+}
+
+// LocalKKTViolation is KKTViolation restricted to a vertex set S (Eq. 11):
+// max_{k∈S: xk<1} ∇k − min_{k∈S: xk>0} ∇k. The support of x must lie inside
+// S for the notion to be meaningful.
+func LocalKKTViolation(g *graph.Graph, v *Vector, S []int) float64 {
+	maxAny := math.Inf(-1)
+	minSupp := math.Inf(1)
+	for _, u := range S {
+		gu := Gradient(g, v, u)
+		if v.x[u] < 1 && gu > maxAny {
+			maxAny = gu
+		}
+		if v.x[u] > 0 && gu < minSupp {
+			minSupp = gu
+		}
+	}
+	if math.IsInf(minSupp, 1) || math.IsInf(maxAny, -1) {
+		return 0
+	}
+	return maxAny - minSupp
+}

@@ -1,0 +1,140 @@
+// Package vheap implements an indexed binary min-heap keyed by vertex id.
+//
+// It is the priority structure behind greedy densest-subgraph peeling: every
+// vertex carries a float64 priority (its current weighted degree), the
+// algorithm repeatedly pops the minimum, and neighbors' priorities are
+// adjusted with DecreaseKey/IncreaseKey as vertices leave the subgraph. All
+// operations are O(log n); building from a priority slice is O(n).
+package vheap
+
+// Heap is an indexed min-heap over vertices 0..n−1. A vertex is either in the
+// heap or removed; priorities of removed vertices are no longer tracked.
+type Heap struct {
+	prio []float64 // prio[v] is valid iff pos[v] >= 0
+	heap []int     // heap[i] = vertex at heap slot i
+	pos  []int     // pos[v] = slot of v in heap, or -1 if removed
+}
+
+// New builds a heap containing all vertices 0..len(prio)−1 with the given
+// priorities, in O(n).
+func New(prio []float64) *Heap {
+	n := len(prio)
+	h := &Heap{
+		prio: make([]float64, n),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+	}
+	copy(h.prio, prio)
+	for v := 0; v < n; v++ {
+		h.heap[v] = v
+		h.pos[v] = v
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// Len returns the number of vertices still in the heap.
+func (h *Heap) Len() int { return len(h.heap) }
+
+// Contains reports whether v is still in the heap.
+func (h *Heap) Contains(v int) bool { return h.pos[v] >= 0 }
+
+// Priority returns the current priority of v. It must still be in the heap.
+func (h *Heap) Priority(v int) float64 { return h.prio[v] }
+
+// Min returns the vertex with minimum priority without removing it. The heap
+// must be non-empty.
+func (h *Heap) Min() (v int, prio float64) {
+	v = h.heap[0]
+	return v, h.prio[v]
+}
+
+// PopMin removes and returns the vertex with minimum priority. The heap must
+// be non-empty.
+func (h *Heap) PopMin() (v int, prio float64) {
+	v = h.heap[0]
+	prio = h.prio[v]
+	h.removeAt(0)
+	return v, prio
+}
+
+// Remove deletes vertex v from the heap. It must still be in the heap.
+func (h *Heap) Remove(v int) {
+	h.removeAt(h.pos[v])
+}
+
+// Update sets v's priority to p, restoring heap order in O(log n). v must
+// still be in the heap.
+func (h *Heap) Update(v int, p float64) {
+	old := h.prio[v]
+	h.prio[v] = p
+	if p < old {
+		h.siftUp(h.pos[v])
+	} else if p > old {
+		h.siftDown(h.pos[v])
+	}
+}
+
+// Add increments v's priority by delta. v must still be in the heap.
+func (h *Heap) Add(v int, delta float64) {
+	h.Update(v, h.prio[v]+delta)
+}
+
+func (h *Heap) removeAt(i int) {
+	v := h.heap[i]
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if i < last {
+		// The element moved into slot i may need to go either way.
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+func (h *Heap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] < h.prio[b]
+	}
+	return a < b // deterministic tie-break by vertex id
+}
+
+func (h *Heap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

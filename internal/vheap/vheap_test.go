@@ -1,0 +1,150 @@
+package vheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrder(t *testing.T) {
+	prio := []float64{5, 1, 4, 2, 3}
+	h := New(prio)
+	want := []int{1, 3, 4, 2, 0}
+	for i, w := range want {
+		v, p := h.PopMin()
+		if v != w {
+			t.Fatalf("pop %d: got vertex %d (prio %v), want %d", i, v, p, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap should be empty")
+	}
+}
+
+func TestUpdateAndRemove(t *testing.T) {
+	h := New([]float64{10, 20, 30, 40})
+	h.Update(3, 5) // 3 becomes min
+	if v, _ := h.Min(); v != 3 {
+		t.Fatalf("min = %d, want 3", v)
+	}
+	h.Add(3, 100) // 3 back to the bottom
+	if v, _ := h.Min(); v != 0 {
+		t.Fatalf("min = %d, want 0", v)
+	}
+	h.Remove(0)
+	if h.Contains(0) {
+		t.Fatal("0 should be removed")
+	}
+	if v, _ := h.Min(); v != 1 {
+		t.Fatalf("min = %d, want 1", v)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("len = %d, want 3", h.Len())
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	h := New([]float64{1, 1, 1})
+	var got []int
+	for h.Len() > 0 {
+		v, _ := h.PopMin()
+		got = append(got, v)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties must pop in vertex order, got %v", got)
+		}
+	}
+}
+
+// Property: after an arbitrary sequence of updates and removals, popping
+// everything yields priorities in non-decreasing order and matches a sorted
+// reference.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		prio := make([]float64, n)
+		for i := range prio {
+			prio[i] = rng.NormFloat64() * 10
+		}
+		h := New(prio)
+		cur := make(map[int]float64, n)
+		for v, p := range prio {
+			cur[v] = p
+		}
+		// Random mutations.
+		for k := 0; k < n; k++ {
+			v := rng.Intn(n)
+			if !h.Contains(v) {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p := rng.NormFloat64() * 10
+				h.Update(v, p)
+				cur[v] = p
+			case 1:
+				d := rng.NormFloat64()
+				h.Add(v, d)
+				cur[v] += d
+			case 2:
+				h.Remove(v)
+				delete(cur, v)
+			}
+		}
+		var want []float64
+		for _, p := range cur {
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		var got []float64
+		for h.Len() > 0 {
+			_, p := h.PopMin()
+			got = append(got, p)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(nil)
+	if h.Len() != 0 {
+		t.Fatal("empty heap must have length 0")
+	}
+}
+
+func BenchmarkPeelSequence(b *testing.B) {
+	const n = 10000
+	prio := make([]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range prio {
+		prio[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := New(prio)
+		for h.Len() > 0 {
+			v, _ := h.PopMin()
+			// Touch a few pseudo-neighbors like peeling would.
+			for d := 1; d <= 3; d++ {
+				u := (v + d*37) % n
+				if h.Contains(u) {
+					h.Add(u, -0.01)
+				}
+			}
+		}
+	}
+}
