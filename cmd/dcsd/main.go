@@ -1,0 +1,73 @@
+// Command dcsd serves density-contrast mining over HTTP: it keeps named,
+// versioned graph snapshots in memory and answers DCS queries under all four
+// contrast measures on a bounded worker pool. See package serve for the
+// endpoint reference and README.md for curl examples.
+//
+// Usage:
+//
+//	dcsd [-addr :8080] [-pool 4] [-parallelism 0]
+//	     [-load name=graph.tsv ...]
+//
+// Each -load flag (repeatable) preloads a TSV edge list (see internal/dataio
+// for the format) as a named snapshot before the server starts, e.g.
+//
+//	dcsd -load old=dblp-g1.tsv -load new=dblp-g2.tsv
+//	curl 'localhost:8080/v1/topics?g1=old&g2=new&k=5'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"github.com/dcslib/dcs/internal/dataio"
+	"github.com/dcslib/dcs/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcsd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 4, "max concurrent mining requests (further requests queue)")
+	parallelism := flag.Int("parallelism", 0,
+		"worker goroutines per affinity job (0 = sequential, -1 = GOMAXPROCS)")
+	var loads []string
+	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	par := *parallelism
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	srv := serve.New(serve.Config{PoolSize: *pool, Parallelism: par})
+	for _, l := range loads {
+		name, path, _ := strings.Cut(l, "=")
+		g, err := dataio.ReadGraphFile(path)
+		if err != nil {
+			log.Fatalf("preload %s: %v", name, err)
+		}
+		info := srv.Store().Put(name, g)
+		log.Printf("loaded snapshot %q: n=%d m=%d", info.Name, info.N, info.M)
+	}
+
+	log.Printf("listening on %s (pool=%d, parallelism=%d, snapshots=%d)",
+		*addr, *pool, par, srv.Store().Len())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

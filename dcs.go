@@ -190,11 +190,17 @@ func TopKAverageDegreeDCSOn(gd *Graph, k int) []AverageDegreeResult {
 // the largest affinity differences (disjoint communities rather than the
 // possibly-overlapping topics of TopContrastCliques).
 func TopKGraphAffinityDCS(g1, g2 *Graph, k int, opt *Options) []ContrastClique {
+	return TopKGraphAffinityDCSOn(graph.Difference(g1, g2), k, opt)
+}
+
+// TopKGraphAffinityDCSOn is TopKGraphAffinityDCS on a pre-built difference
+// graph.
+func TopKGraphAffinityDCSOn(gd *Graph, k int, opt *Options) []ContrastClique {
 	var o Options
 	if opt != nil {
 		o = *opt
 	}
-	return core.TopKGraphAffinity(graph.Difference(g1, g2), k, o)
+	return core.TopKGraphAffinity(gd, k, o)
 }
 
 // MaxTotalWeightResult is a subgraph maximizing total weight difference

@@ -50,3 +50,46 @@ func ExampleDifferenceAlpha() {
 	// Output:
 	// S=[1 2] density=1.00
 }
+
+// ExampleTopKAverageDegreeDCS mines several vertex-disjoint contrast
+// subgraphs at once: two groups tightened between the snapshots, and top-k
+// mining reports both, strongest first.
+func ExampleTopKAverageDegreeDCS() {
+	g1 := dcs.NewBuilder(8).Build() // no relations yesterday
+	b2 := dcs.NewBuilder(8)         // two new cliques today
+	b2.AddEdge(0, 1, 5)
+	b2.AddEdge(0, 2, 5)
+	b2.AddEdge(1, 2, 5)
+	b2.AddEdge(4, 5, 3)
+	b2.AddEdge(4, 6, 3)
+	b2.AddEdge(5, 6, 3)
+
+	for i, res := range dcs.TopKAverageDegreeDCS(g1, b2.Build(), 3) {
+		fmt.Printf("#%d S=%v density=%.0f\n", i+1, res.S, res.Density)
+	}
+	// Output:
+	// #1 S=[0 1 2] density=10
+	// #2 S=[4 5 6] density=6
+}
+
+// ExampleFindMaxRatioContrast certifies the largest α such that some
+// subgraph is α times denser in the new snapshot: the triangle tripled its
+// weights, so α = 3 with the triangle as witness.
+func ExampleFindMaxRatioContrast() {
+	b1 := dcs.NewBuilder(4)
+	b1.AddEdge(0, 1, 1)
+	b1.AddEdge(1, 2, 1)
+	b1.AddEdge(0, 2, 1)
+	b1.AddEdge(2, 3, 4)
+	b2 := dcs.NewBuilder(4)
+	b2.AddEdge(0, 1, 3)
+	b2.AddEdge(1, 2, 3)
+	b2.AddEdge(0, 2, 3)
+	b2.AddEdge(2, 3, 4) // unchanged
+
+	res := dcs.FindMaxRatioContrast(b1.Build(), b2.Build())
+	fmt.Printf("alpha=%.2f S=%v rho2=%.0f rho1=%.0f\n",
+		res.Alpha, res.S, res.Density2, res.Density1)
+	// Output:
+	// alpha=3.00 S=[0 1 2] rho2=6 rho1=2
+}

@@ -1,0 +1,3 @@
+module github.com/dcslib/dcs
+
+go 1.24

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// randomPair builds a contrast pair over n vertices: a noisy background that
+// partly persists plus a planted rising clique, so every measure has
+// something to find.
+func randomPair(rng *rand.Rand, n int) (g1, g2 GraphJSON) {
+	g1.N, g2.N = n, n
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		w := rng.Float64()
+		g1.Edges = append(g1.Edges, EdgeJSON{u, v, w})
+		if rng.Float64() < 0.7 {
+			g2.Edges = append(g2.Edges, EdgeJSON{u, v, w * (0.5 + rng.Float64())})
+		}
+	}
+	// Planted clique on the first 4 vertices, strong only in g2.
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g2.Edges = append(g2.Edges, EdgeJSON{u, v, 5 + rng.Float64()})
+		}
+	}
+	return
+}
+
+// TestConcurrentLoad hammers a live server with mixed traffic — snapshot
+// replacement, all four mining measures, the topics pipeline and health
+// probes — over shared snapshots. Its real assertions are the -race detector
+// plus every request completing with a 2xx.
+func TestConcurrentLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const n = 40
+	s := New(Config{PoolSize: 4, Parallelism: 2})
+	seed := rand.New(rand.NewSource(1))
+	g1, g2 := randomPair(seed, n)
+	s.Store().Put("base", mustBuild(t, &g1))
+	s.Store().Put("hot", mustBuild(t, &g2))
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path string, body any) (int, []byte, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	const (
+		writers       = 2
+		readers       = 6
+		opsPerWorker  = 15
+		measuresPerOp = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, (writers+readers+1)*opsPerWorker*measuresPerOp)
+
+	// Writers keep replacing the "hot" snapshot (same vertex count, so
+	// in-flight contrasts against it stay valid).
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + id)))
+			for i := 0; i < opsPerWorker; i++ {
+				_, g := randomPair(rng, n)
+				code, body, err := post("/v1/snapshots", SnapshotRequest{Name: "hot", GraphJSON: g})
+				if err != nil {
+					errs <- err
+				} else if code != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: snapshot status %d: %s", id, code, body)
+				}
+			}
+		}(w)
+	}
+
+	// Readers cycle through the four measures and the topics endpoint.
+	measures := []string{"avgdeg", "affinity", "totalweight", "ratio"}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				m := measures[(id+i)%len(measures)]
+				req := DCSRequest{Measure: m, G1: "base", G2: "hot", K: 1 + i%3}
+				code, body, err := post("/v1/dcs", req)
+				if err != nil {
+					errs <- err
+				} else if code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: dcs %s status %d: %s", id, m, code, body)
+				}
+				if i%5 == 0 {
+					resp, err := client.Get(ts.URL + "/v1/topics?g1=base&g2=hot&k=3")
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("reader %d: topics status %d", id, resp.StatusCode)
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}(r)
+	}
+
+	// A health prober runs alongside.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < opsPerWorker; i++ {
+			resp, err := client.Get(ts.URL + "/healthz")
+			if err != nil {
+				errs <- err
+				continue
+			}
+			var h HealthResponse
+			if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+				errs <- err
+			} else if h.Status != "ok" {
+				errs <- fmt.Errorf("health status %q", h.Status)
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The hot snapshot must have been replaced writers*opsPerWorker times.
+	snap, ok := s.Store().Get("hot")
+	if !ok {
+		t.Fatal("hot snapshot vanished")
+	}
+	if want := writers*opsPerWorker + 1; snap.Version != want {
+		t.Fatalf("hot version %d, want %d", snap.Version, want)
+	}
+}
+
+func mustBuild(t *testing.T, g *GraphJSON) *dcs.Graph {
+	t.Helper()
+	built, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// workerPool bounds how many mining jobs run at once. Each admitted request
+// occupies one slot for the duration of its computation; excess requests wait
+// until a slot frees or their context is done. Per-job CPU fan-out is
+// separate: the affinity solvers additionally split their initializations
+// over Options.Parallelism goroutines inside one slot.
+type workerPool struct {
+	sem      chan struct{}
+	inFlight atomic.Int64
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	return &workerPool{sem: make(chan struct{}, size)}
+}
+
+// acquire blocks until a slot is free or ctx is done.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		p.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *workerPool) release() {
+	p.inFlight.Add(-1)
+	<-p.sem
+}
+
+// InFlight reports how many jobs hold a slot right now.
+func (p *workerPool) InFlight() int {
+	return int(p.inFlight.Load())
+}

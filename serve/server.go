@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// Config tunes a Server. The zero value is usable: a pool of 4 jobs and
+// sequential solvers.
+type Config struct {
+	// PoolSize bounds how many mining requests compute at once; further
+	// requests queue until a slot frees (or their context is cancelled).
+	// Default 4.
+	PoolSize int
+	// Parallelism is forwarded to dcs.Options.Parallelism: worker goroutines
+	// per affinity job. 0 means sequential; results are deterministic either
+	// way.
+	Parallelism int
+	// QueueTimeout bounds how long a request may wait for a pool slot before
+	// being rejected with 503. Default 30s.
+	QueueTimeout time.Duration
+	// MaxBodyBytes caps request body size (413 beyond it). Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxVertices caps the vertex count of uploaded and inline graphs, so a
+	// tiny request cannot demand O(n) allocations for an astronomical n.
+	// Operator-preloaded snapshots are not subject to it. Default 2,000,000.
+	MaxVertices int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize == 0 {
+		c.PoolSize = 4
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 2_000_000
+	}
+	return c
+}
+
+// Server is the dcsd HTTP service; it implements http.Handler. Construct
+// with New, preload snapshots through Store, and hand it to http.Serve.
+type Server struct {
+	cfg   Config
+	store *Store
+	pool  *workerPool
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New returns a ready Server with an empty snapshot registry.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		store: NewStore(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.pool = newWorkerPool(s.cfg.PoolSize)
+	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("/v1/dcs", s.handleDCS)
+	s.mux.HandleFunc("/v1/topics", s.handleTopics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Store exposes the snapshot registry, e.g. for preloading at startup.
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) options() *dcs.Options {
+	return &dcs.Options{Parallelism: s.cfg.Parallelism}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // headers are gone; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpError tags an error with the status code the handler should emit.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeHTTPError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		writeError(w, he.status, "%s", he.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%s", err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Snapshots: s.store.Len(),
+		InFlight:  s.pool.InFlight(),
+		UptimeSec: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.store.List())
+	case http.MethodPost:
+		var req SnapshotRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		if req.Name == "" {
+			writeError(w, http.StatusBadRequest, "snapshot name is required")
+			return
+		}
+		if req.GraphJSON.N > s.cfg.MaxVertices {
+			writeError(w, http.StatusBadRequest, "vertex count %d exceeds the server limit %d", req.GraphJSON.N, s.cfg.MaxVertices)
+			return
+		}
+		g, err := req.GraphJSON.Build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad graph: %s", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.store.Put(req.Name, g))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// resolve turns one side of a request (snapshot name or inline graph) into a
+// graph plus the reference echoed in the response.
+func (s *Server) resolve(side, name string, inline *GraphJSON) (*dcs.Graph, SnapshotRef, error) {
+	switch {
+	case name != "" && inline != nil:
+		return nil, SnapshotRef{}, badRequest("%s: give a snapshot name or an inline graph, not both", side)
+	case name != "":
+		snap, ok := s.store.Get(name)
+		if !ok {
+			return nil, SnapshotRef{}, badRequest("%s: unknown snapshot %q", side, name)
+		}
+		return snap.Graph, SnapshotRef{Name: snap.Name, Version: snap.Version}, nil
+	case inline != nil:
+		if inline.N > s.cfg.MaxVertices {
+			return nil, SnapshotRef{}, badRequest("%s: vertex count %d exceeds the server limit %d", side, inline.N, s.cfg.MaxVertices)
+		}
+		g, err := inline.Build()
+		if err != nil {
+			return nil, SnapshotRef{}, badRequest("%s: bad inline graph: %s", side, err)
+		}
+		return g, SnapshotRef{Inline: true}, nil
+	default:
+		return nil, SnapshotRef{}, badRequest("%s: missing (name a snapshot or inline a graph)", side)
+	}
+}
+
+// resolvePair resolves both sides and checks they share a vertex set.
+func (s *Server) resolvePair(req *DCSRequest) (g1, g2 *dcs.Graph, r1, r2 SnapshotRef, err error) {
+	g1, r1, err = s.resolve("g1", req.G1, req.Graph1)
+	if err != nil {
+		return
+	}
+	g2, r2, err = s.resolve("g2", req.G2, req.Graph2)
+	if err != nil {
+		return
+	}
+	if g1.N() != g2.N() {
+		err = badRequest("vertex counts differ: g1 has %d, g2 has %d", g1.N(), g2.N())
+	}
+	return
+}
+
+// decodeBody decodes a JSON request body, bounded by MaxBodyBytes.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, out any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(out); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds the server limit %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("bad JSON: %s", err)
+	}
+	return nil
+}
+
+// admit reserves a pool slot for the request, bounded by QueueTimeout.
+// The caller must invoke the returned release func when done.
+func (s *Server) admit(r *http.Request) (func(), error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "server busy: no worker slot within queue timeout"}
+	}
+	return s.pool.release, nil
+}
+
+// weightsOf extracts the simplex weights aligned with S. The embedding type
+// lives in an internal package, so it is taken structurally.
+func weightsOf(x interface{ Get(u int) float64 }, S []int) []float64 {
+	if x == nil {
+		return nil
+	}
+	out := make([]float64, len(S))
+	for i, v := range S {
+		out[i] = x.Get(v)
+	}
+	return out
+}
+
+func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req DCSRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	switch req.Measure {
+	case "avgdeg", "affinity", "totalweight", "ratio":
+	case "":
+		writeError(w, http.StatusBadRequest, "measure is required: avgdeg | affinity | totalweight | ratio")
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "unknown measure %q: want avgdeg | affinity | totalweight | ratio", req.Measure)
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be non-negative")
+		return
+	}
+	if req.Alpha < 0 || math.IsNaN(req.Alpha) || math.IsInf(req.Alpha, 0) {
+		writeError(w, http.StatusBadRequest, "alpha must be a non-negative finite number")
+		return
+	}
+	g1, g2, r1, r2, err := s.resolvePair(&req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	release, err := s.admit(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	defer release()
+
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	started := time.Now()
+	resp := DCSResponse{Measure: req.Measure, G1: r1, G2: r2, Alpha: alpha}
+
+	switch req.Measure {
+	case "ratio":
+		resp.Alpha = 0 // output field Alpha is input-only here; Ratio carries the answer
+		res := dcs.FindMaxRatioContrast(g1, g2)
+		rj := &RatioJSON{S: res.S, Density1: res.Density1, Density2: res.Density2}
+		if math.IsInf(res.Alpha, 1) {
+			rj.Unbounded = true
+		} else {
+			rj.Alpha = res.Alpha
+		}
+		resp.Ratio = rj
+	case "avgdeg":
+		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		for _, res := range dcs.TopKAverageDegreeDCSOn(gd, k) {
+			if err := dcs.ValidateAverageDegreeResult(gd, res); err != nil {
+				writeError(w, http.StatusInternalServerError, "result failed validation: %s", err)
+				return
+			}
+			resp.Results = append(resp.Results, SubgraphJSON{
+				S:              res.S,
+				Density:        res.Density,
+				TotalWeight:    res.TotalWeight,
+				EdgeDensity:    res.EdgeDensity,
+				ApproxRatio:    res.Ratio,
+				PositiveClique: res.PositiveClique,
+				Connected:      res.Connected,
+			})
+		}
+	case "affinity":
+		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		if k == 1 {
+			res := dcs.FindGraphAffinityDCSOn(gd, s.options())
+			if err := dcs.ValidateGraphAffinityResult(gd, res); err != nil {
+				writeError(w, http.StatusInternalServerError, "result failed validation: %s", err)
+				return
+			}
+			resp.Results = append(resp.Results, gaSubgraph(gd, res.S, res.Affinity, weightsOf(res.X, res.S)))
+		} else {
+			for _, c := range dcs.TopKGraphAffinityDCSOn(gd, k, s.options()) {
+				resp.Results = append(resp.Results, gaSubgraph(gd, c.S, c.Affinity, weightsOf(c.X, c.S)))
+			}
+		}
+	case "totalweight":
+		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		res := dcs.FindMaxTotalWeightSubgraphOn(gd)
+		resp.Results = append(resp.Results, SubgraphJSON{
+			S:              res.S,
+			Density:        res.Density,
+			TotalWeight:    res.TotalWeight,
+			EdgeDensity:    res.EdgeDensity,
+			PositiveClique: res.PositiveClique,
+			Connected:      gd.IsConnected(res.S),
+		})
+	}
+	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	name1, name2 := q.Get("g1"), q.Get("g2")
+	if name1 == "" || name2 == "" {
+		writeError(w, http.StatusBadRequest, "g1 and g2 query parameters are required")
+		return
+	}
+	k := 5
+	if raw := q.Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = v
+	}
+	direction := q.Get("direction")
+	if direction == "" {
+		direction = "emerging"
+	}
+	if direction != "emerging" && direction != "disappearing" {
+		writeError(w, http.StatusBadRequest, "direction must be emerging or disappearing")
+		return
+	}
+	req := DCSRequest{G1: name1, G2: name2}
+	g1, g2, r1, r2, err := s.resolvePair(&req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	release, err := s.admit(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	defer release()
+
+	started := time.Now()
+	// Emerging topics are denser in g2; disappearing ones denser in g1.
+	gd := dcs.Difference(g1, g2)
+	if direction == "disappearing" {
+		gd = dcs.Difference(g2, g1)
+	}
+	cliques := dcs.TopContrastCliquesOn(gd, s.options())
+	resp := TopicsResponse{G1: r1, G2: r2, Direction: direction}
+	for i, c := range cliques {
+		if i >= k {
+			break
+		}
+		resp.Topics = append(resp.Topics, gaSubgraph(gd, c.S, c.Affinity, weightsOf(c.X, c.S)))
+	}
+	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gaSubgraph assembles the response record for an affinity-measure subgraph,
+// re-deriving the secondary metrics from the difference graph.
+func gaSubgraph(gd *dcs.Graph, S []int, affinity float64, weights []float64) SubgraphJSON {
+	return SubgraphJSON{
+		S:              S,
+		Density:        gd.AverageDegreeOf(S),
+		TotalWeight:    gd.TotalDegreeOf(S),
+		EdgeDensity:    gd.EdgeDensityOf(S),
+		Affinity:       affinity,
+		Weights:        weights,
+		PositiveClique: gd.IsPositiveClique(S),
+		Connected:      gd.IsConnected(S),
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// Snapshot is one registered graph version. Graphs are immutable, so a
+// Snapshot handed out by the store stays valid (and race-free) even after the
+// name is replaced by a newer version.
+type Snapshot struct {
+	Name      string
+	Version   int
+	Graph     *dcs.Graph
+	UpdatedAt time.Time
+}
+
+// Info summarizes the snapshot.
+func (s *Snapshot) Info() SnapshotInfo {
+	return SnapshotInfo{
+		Name:        s.Name,
+		Version:     s.Version,
+		N:           s.Graph.N(),
+		M:           s.Graph.M(),
+		TotalWeight: s.Graph.TotalWeight(),
+		UpdatedAt:   s.UpdatedAt,
+	}
+}
+
+// Store is a concurrent in-memory registry of named, versioned graph
+// snapshots. Put replaces a name atomically and bumps its version; readers
+// that already hold a Snapshot keep computing against the version they
+// resolved.
+type Store struct {
+	mu    sync.RWMutex
+	snaps map[string]*Snapshot
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{snaps: make(map[string]*Snapshot)}
+}
+
+// Put registers g under name, replacing any previous version, and returns
+// the stored snapshot's info.
+func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	version := 1
+	if prev, ok := st.snaps[name]; ok {
+		version = prev.Version + 1
+	}
+	s := &Snapshot{Name: name, Version: version, Graph: g, UpdatedAt: time.Now()}
+	st.snaps[name] = s
+	return s.Info()
+}
+
+// Get resolves a name to its current snapshot.
+func (st *Store) Get(name string) (*Snapshot, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.snaps[name]
+	return s, ok
+}
+
+// Len reports how many names are registered.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.snaps)
+}
+
+// List returns the infos of all snapshots, sorted by name.
+func (st *Store) List() []SnapshotInfo {
+	st.mu.RLock()
+	infos := make([]SnapshotInfo, 0, len(st.snaps))
+	for _, s := range st.snaps {
+		infos = append(infos, s.Info())
+	}
+	st.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

@@ -1,0 +1,177 @@
+// Package serve implements dcsd, a long-running HTTP service for online
+// density-contrast mining: named, versioned graph snapshots are kept in a
+// concurrent in-memory registry, and mining requests — any of the four
+// contrast measures of the paper and its baselines — run on a bounded worker
+// pool so a burst of expensive queries cannot exhaust the host.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST /v1/snapshots   upload or replace a named weighted graph
+//	GET  /v1/snapshots   list the registered snapshots
+//	POST /v1/dcs         mine one contrast: measure avgdeg | affinity |
+//	                     totalweight | ratio, against two named snapshots or
+//	                     inline edge lists, optional top-k and alpha
+//	GET  /v1/topics      the TopContrastCliques pipeline over two named
+//	                     snapshots (the paper's emerging/disappearing topics)
+//	GET  /healthz        liveness, snapshot count, in-flight job count
+//
+// The service exposes exactly the public API of package dcs; see README.md
+// for curl examples and cmd/dcsd for the binary.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// EdgeJSON is one undirected weighted edge of a request or response graph.
+type EdgeJSON struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w"`
+}
+
+// GraphJSON is an inline graph: a vertex count and an edge list. Parallel
+// edges merge by summing, as in dcs.Builder.
+type GraphJSON struct {
+	N     int        `json:"n"`
+	Edges []EdgeJSON `json:"edges"`
+}
+
+// Build validates the edge list and constructs the immutable graph.
+func (g *GraphJSON) Build() (*dcs.Graph, error) {
+	if g.N < 0 {
+		return nil, fmt.Errorf("negative vertex count %d", g.N)
+	}
+	b := dcs.NewBuilder(g.N)
+	for i, e := range g.Edges {
+		if e.U < 0 || e.U >= g.N || e.V < 0 || e.V >= g.N {
+			return nil, fmt.Errorf("edge %d: (%d,%d) out of range [0,%d)", i, e.U, e.V, g.N)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("edge %d: self-loop on vertex %d", i, e.U)
+		}
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return nil, fmt.Errorf("edge %d: non-finite weight", i)
+		}
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build(), nil
+}
+
+// SnapshotRequest is the body of POST /v1/snapshots.
+type SnapshotRequest struct {
+	Name string `json:"name"`
+	GraphJSON
+}
+
+// SnapshotInfo describes one registered snapshot; POST /v1/snapshots returns
+// the info of the stored (possibly replaced) snapshot, GET /v1/snapshots
+// returns a list sorted by name.
+type SnapshotInfo struct {
+	Name        string    `json:"name"`
+	Version     int       `json:"version"`
+	N           int       `json:"n"`
+	M           int       `json:"m"`
+	TotalWeight float64   `json:"total_weight"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// DCSRequest is the body of POST /v1/dcs. The two input graphs are given
+// either by snapshot name (G1, G2) or inline (Graph1, Graph2); the two styles
+// may be mixed. Contrast direction follows the library convention: the result
+// is denser in the second graph than in the first.
+type DCSRequest struct {
+	// Measure selects the objective: "avgdeg" (ρ2−ρ1, DCSGreedy),
+	// "affinity" (xᵀA2x − xᵀA1x, NewSEA), "totalweight" (W2−W1, the EgoScan
+	// baseline objective) or "ratio" (largest α with ρ2 ≥ α·ρ1).
+	Measure string `json:"measure"`
+	// G1, G2 name registered snapshots.
+	G1 string `json:"g1,omitempty"`
+	G2 string `json:"g2,omitempty"`
+	// Graph1, Graph2 are inline alternatives to G1/G2.
+	Graph1 *GraphJSON `json:"graph1,omitempty"`
+	Graph2 *GraphJSON `json:"graph2,omitempty"`
+	// K asks for up to K vertex-disjoint results (avgdeg and affinity only).
+	// 0 or 1 means the single best.
+	K int `json:"k,omitempty"`
+	// Alpha generalizes the difference graph to GD = G2 − α·G1 (the
+	// α-quasi-contrast of Section III-D). 0 or absent means 1. Ignored by
+	// measure "ratio", which searches for the best α itself.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// SubgraphJSON is one mined contrast subgraph.
+type SubgraphJSON struct {
+	// S is the vertex set, increasing order.
+	S []int `json:"s"`
+	// Density is ρ_D(S), the average-degree difference.
+	Density float64 `json:"density"`
+	// TotalWeight is W_D(S), the total edge-weight difference.
+	TotalWeight float64 `json:"total_weight"`
+	// EdgeDensity is W_D(S)/|S|².
+	EdgeDensity float64 `json:"edge_density"`
+	// Affinity is xᵀDx (affinity measure only).
+	Affinity float64 `json:"affinity,omitempty"`
+	// Weights are the simplex weights aligned with S (affinity measure only).
+	Weights []float64 `json:"weights,omitempty"`
+	// ApproxRatio is DCSGreedy's data-dependent ratio β (avgdeg only).
+	ApproxRatio    float64 `json:"approx_ratio,omitempty"`
+	PositiveClique bool    `json:"positive_clique"`
+	Connected      bool    `json:"connected"`
+}
+
+// RatioJSON is the outcome of measure "ratio". When some edge exists only in
+// G2 the supremum is unbounded (Section III-C); Unbounded is then true and
+// Alpha is omitted, with S the heaviest G2-only edge.
+type RatioJSON struct {
+	Alpha     float64 `json:"alpha"`
+	Unbounded bool    `json:"unbounded,omitempty"`
+	S         []int   `json:"s"`
+	Density1  float64 `json:"density1"`
+	Density2  float64 `json:"density2"`
+}
+
+// SnapshotRef records which snapshot version a response was computed
+// against, so callers can detect mid-flight replacement.
+type SnapshotRef struct {
+	Name    string `json:"name,omitempty"`
+	Version int    `json:"version,omitempty"`
+	Inline  bool   `json:"inline,omitempty"`
+}
+
+// DCSResponse is the body returned by POST /v1/dcs.
+type DCSResponse struct {
+	Measure   string         `json:"measure"`
+	G1        SnapshotRef    `json:"g1"`
+	G2        SnapshotRef    `json:"g2"`
+	Alpha     float64        `json:"alpha,omitempty"`
+	Results   []SubgraphJSON `json:"results,omitempty"`
+	Ratio     *RatioJSON     `json:"ratio,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// TopicsResponse is the body returned by GET /v1/topics.
+type TopicsResponse struct {
+	G1        SnapshotRef    `json:"g1"`
+	G2        SnapshotRef    `json:"g2"`
+	Direction string         `json:"direction"`
+	Topics    []SubgraphJSON `json:"topics"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// HealthResponse is the body returned by GET /healthz.
+type HealthResponse struct {
+	Status    string  `json:"status"`
+	Snapshots int     `json:"snapshots"`
+	InFlight  int     `json:"in_flight"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// ErrorResponse carries any non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
