@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dcsd [-addr :8080] [-pool 4] [-parallelism 0]
+//	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-cache 64]
 //	     [-load name=graph.tsv ...]
 //
 // Each -load flag (repeatable) preloads a TSV edge list (see internal/dataio
@@ -35,6 +35,8 @@ func main() {
 	pool := flag.Int("pool", 4, "max concurrent mining requests (further requests queue)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines per affinity job (0 = sequential, -1 = GOMAXPROCS)")
+	cache := flag.Int("cache", 64,
+		"difference-graph LRU entries (0 disables caching)")
 	var loads []string
 	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -54,7 +56,11 @@ func main() {
 	if par < 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	srv := serve.New(serve.Config{PoolSize: *pool, Parallelism: par})
+	cacheSize := *cache
+	if cacheSize <= 0 {
+		cacheSize = -1 // Config convention: 0 means "default", negative disables
+	}
+	srv := serve.New(serve.Config{PoolSize: *pool, Parallelism: par, DiffCacheSize: cacheSize})
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
 		g, err := dataio.ReadGraphFile(path)

@@ -145,10 +145,15 @@ func (st *cdState) descend(eps float64, maxIter int) int {
 
 // coordinateDescent is the package-level entry: run 2-CD over the working set
 // S on graph g, mutating x in place. Returns iterations used.
+//
+// The cdState inner loops range over Neighbors directly — zero-copy on a
+// plain CSR graph but an allocation per call on a masked view — so a view
+// argument is flattened up front (Compact is a no-op for plain graphs; every
+// hot caller already passes one).
 func coordinateDescent(g *graph.Graph, x *simplex.Vector, S []int, eps float64, maxIter int) int {
 	if len(S) <= 1 {
 		return 0
 	}
-	st := newCDState(g, x, S)
+	st := newCDState(g.Compact(), x, S)
 	return st.descend(eps, maxIter)
 }

@@ -23,13 +23,14 @@ type GAResult struct {
 
 func newGAResult(gd *graph.Graph, x *simplex.Vector, st GAStats) GAResult {
 	S := x.Support()
+	w, density, edgeDensity := gd.SubgraphMetrics(S)
 	return GAResult{
 		X:              x,
 		S:              S,
 		Affinity:       simplex.Affinity(gd, x),
-		Density:        gd.AverageDegreeOf(S),
-		EdgeDensity:    gd.EdgeDensityOf(S),
-		TotalWeight:    gd.TotalDegreeOf(S),
+		Density:        density,
+		EdgeDensity:    edgeDensity,
+		TotalWeight:    w,
 		PositiveClique: gd.IsPositiveClique(S),
 		Stats:          st,
 	}
@@ -45,11 +46,11 @@ func initBounds(gdp *graph.Graph) []float64 {
 	// mw[v] = max weight incident to v.
 	mw := make([]float64, n)
 	for v := 0; v < n; v++ {
-		for _, nb := range gdp.Neighbors(v) {
-			if nb.W > mw[v] {
-				mw[v] = nb.W
+		gdp.VisitNeighbors(v, func(_ int, w float64) {
+			if w > mw[v] {
+				mw[v] = w
 			}
-		}
+		})
 	}
 	// wu = max over the ego net Tu = {u} ∪ N(u) of incident max-weights:
 	// every edge with an endpoint in Tu contributes to some mw[v], v ∈ Tu.
@@ -57,11 +58,11 @@ func initBounds(gdp *graph.Graph) []float64 {
 	mu := make([]float64, n)
 	for u := 0; u < n; u++ {
 		wu := mw[u]
-		for _, nb := range gdp.Neighbors(u) {
-			if mw[nb.To] > wu {
-				wu = mw[nb.To]
+		gdp.VisitNeighbors(u, func(v int, _ float64) {
+			if mw[v] > wu {
+				wu = mw[v]
 			}
-		}
+		})
 		t := float64(tau[u])
 		mu[u] = t * wu / (t + 1)
 	}
@@ -92,7 +93,10 @@ func runInit(gdp *graph.Graph, u int, useReplicator bool, opt GAOptions) (*simpl
 // clique).
 func NewSEA(gd *graph.Graph, opt GAOptions) GAResult {
 	opt = opt.withDefaults()
-	gdp := gd.PositivePart()
+	// Materialize GD+ once (single pass): every initialization below runs
+	// thousands of coordinate-descent sweeps over it, which a flattened CSR
+	// serves without per-edge filtering.
+	gdp := gd.PositivePartCompact()
 	n := gd.N()
 	if n == 0 {
 		return GAResult{X: simplex.New(0), PositiveClique: true}
@@ -144,7 +148,7 @@ func SEARefineFull(gd *graph.Graph, opt GAOptions) GAResult {
 
 func fullInit(gd *graph.Graph, useReplicator bool, opt GAOptions) GAResult {
 	opt = opt.withDefaults()
-	gdp := gd.PositivePart()
+	gdp := gd.PositivePartCompact() // see NewSEA
 	n := gd.N()
 	if n == 0 {
 		return GAResult{X: simplex.New(0), PositiveClique: true}
@@ -242,7 +246,7 @@ func CliqueEmbedding(gd *graph.Graph, S []int) *simplex.Vector {
 // sorted by decreasing affinity, ties by support.
 func CollectCliques(gd *graph.Graph, opt GAOptions) []Clique {
 	opt = opt.withDefaults()
-	gdp := gd.PositivePart()
+	gdp := gd.PositivePartCompact() // see NewSEA
 	n := gd.N()
 	var starts []int
 	for u := 0; u < n; u++ {

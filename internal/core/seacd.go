@@ -105,9 +105,9 @@ func replicatorShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions)
 				return
 			}
 			var dxu float64
-			for _, nb := range g.Neighbors(u) {
-				dxu += nb.W * x.Get(nb.To)
-			}
+			g.VisitNeighbors(u, func(v int, w float64) {
+				dxu += w * x.Get(v)
+			})
 			v := xu * dxu / f
 			if v > 0 {
 				next.Set(u, v)
@@ -164,9 +164,9 @@ func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
 	acc := make(map[int]float64)
 	x.Visit(func(u int, xu float64) {
 		acc[u] += 0
-		for _, nb := range g.Neighbors(u) {
-			acc[nb.To] += nb.W * xu
-		}
+		g.VisitNeighbors(u, func(v int, w float64) {
+			acc[v] += w * xu
+		})
 	})
 	if kktTol < 1e-12 {
 		kktTol = 1e-12 // numeric floor so round-off never triggers expansion
@@ -192,11 +192,11 @@ func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
 	}
 	var omega float64
 	for _, i := range zs {
-		for _, nb := range g.Neighbors(i) {
-			if gj, ok := gamma[nb.To]; ok {
-				omega += gamma[i] * gj * nb.W
+		g.VisitNeighbors(i, func(v int, w float64) {
+			if gj, ok := gamma[v]; ok {
+				omega += gamma[i] * gj * w
 			}
-		}
+		})
 	}
 	a := f*s*s + 2*s*zeta - omega
 	var tau float64

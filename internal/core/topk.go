@@ -8,10 +8,13 @@ import "github.com/dcslib/dcs/internal/graph"
 //
 // It iterates DCSGreedy: find a DCS, record it, strip its vertices from the
 // difference graph, and repeat until k subgraphs are found or no subgraph
-// with positive density difference remains. The first result is exactly
-// DCSGreedy's. Because DCSGreedy is a heuristic, a later result can
-// occasionally be denser than an earlier one (removal changes the peeling
-// order); results are reported in discovery order.
+// with positive density difference remains. Stripping uses WithoutVertices,
+// which since the CSR refactor is an O(n) mask flip over shared storage
+// rather than an O(n+m) adjacency rebuild — the per-k cost is the DCSGreedy
+// run itself. The first result is exactly DCSGreedy's. Because DCSGreedy is
+// a heuristic, a later result can occasionally be denser than an earlier one
+// (removal changes the peeling order); results are reported in discovery
+// order.
 func TopKAverageDegree(gd *graph.Graph, k int) []ADResult {
 	var out []ADResult
 	work := gd

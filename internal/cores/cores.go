@@ -51,8 +51,7 @@ func Numbers(g *graph.Graph) []int {
 	copy(core, deg)
 	for i := 0; i < n; i++ {
 		v := vert[i]
-		for _, nb := range g.Neighbors(v) {
-			u := nb.To
+		g.VisitNeighbors(v, func(u int, _ float64) {
 			if core[u] > core[v] {
 				// Move u one bin down: swap it with the first vertex of its
 				// current degree block, then shrink the block.
@@ -67,7 +66,7 @@ func Numbers(g *graph.Graph) []int {
 				bin[du]++
 				core[u]--
 			}
-		}
+		})
 	}
 	return core
 }

@@ -70,11 +70,11 @@ func Greedy(g *graph.Graph) Result {
 		// Removing v: v's degree leaves W once, and every remaining neighbor
 		// loses w(u,v) from its degree — so W(S) drops by 2·dv in total.
 		totalDeg -= 2 * dv
-		for _, nb := range g.Neighbors(v) {
-			if h.Contains(nb.To) {
-				h.Add(nb.To, -nb.W)
+		g.VisitNeighbors(v, func(u int, w float64) {
+			if h.Contains(u) {
+				h.Add(u, -w)
 			}
-		}
+		})
 		size--
 	}
 	// The best prefix keeps the vertices *not yet removed* when |S| == bestSize,

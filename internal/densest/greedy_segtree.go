@@ -40,11 +40,11 @@ func GreedySegTree(g *graph.Graph) Result {
 		tree.Disable(v)
 		removeOrder = append(removeOrder, v)
 		totalDeg -= 2 * dv
-		for _, nb := range g.Neighbors(v) {
-			if tree.Enabled(nb.To) {
-				tree.Add(nb.To, -nb.W)
+		g.VisitNeighbors(v, func(u int, w float64) {
+			if tree.Enabled(u) {
+				tree.Add(u, -w)
 			}
-		}
+		})
 	}
 	keep := make([]bool, n)
 	for v := range keep {

@@ -58,11 +58,11 @@ func Scan(gd *graph.Graph, opt Options) Result {
 	// mirroring EgoScan's prioritization of promising ego nets.
 	posDeg := make([]float64, n)
 	for v := 0; v < n; v++ {
-		for _, nb := range gd.Neighbors(v) {
-			if nb.W > 0 {
-				posDeg[v] += nb.W
+		gd.VisitNeighbors(v, func(_ int, w float64) {
+			if w > 0 {
+				posDeg[v] += w
 			}
-		}
+		})
 	}
 	seeds := make([]int, n)
 	for i := range seeds {
@@ -118,21 +118,21 @@ func Scan(gd *graph.Graph, opt Options) Result {
 // even without the budget; the budget just caps worst-case work per seed.
 func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
 	in := map[int]bool{s: true}
-	for _, nb := range gd.Neighbors(s) {
-		if nb.W > 0 {
-			in[nb.To] = true
+	gd.VisitNeighbors(s, func(v int, w float64) {
+		if w > 0 {
+			in[v] = true
 		}
-	}
+	})
 	for round := 0; round < maxRounds; round++ {
 		changed := false
 		// Grow: marginal gain of adding v is 2·Σ_{u∈S} w(v,u).
 		gain := make(map[int]float64)
 		for u := range in {
-			for _, nb := range gd.Neighbors(u) {
-				if !in[nb.To] {
-					gain[nb.To] += nb.W
+			gd.VisitNeighbors(u, func(v int, w float64) {
+				if !in[v] {
+					gain[v] += w
 				}
-			}
+			})
 		}
 		// Deterministic iteration order.
 		cands := make([]int, 0, len(gain))
@@ -155,11 +155,11 @@ func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
 		sort.Ints(members)
 		for _, v := range members {
 			var d float64
-			for _, nb := range gd.Neighbors(v) {
-				if in[nb.To] {
-					d += nb.W
+			gd.VisitNeighbors(v, func(u int, w float64) {
+				if in[u] {
+					d += w
 				}
-			}
+			})
 			if d < 0 {
 				delete(in, v)
 				changed = true

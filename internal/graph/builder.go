@@ -43,8 +43,8 @@ func (b *Builder) AddEdge(u, v int, w float64) {
 	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
 }
 
-// Build finalizes the graph. The Builder may be reused afterwards; already
-// recorded edges stay recorded.
+// Build finalizes the graph into CSR form. The Builder may be reused
+// afterwards; already recorded edges stay recorded.
 func (b *Builder) Build() *Graph {
 	es := make([]Edge, len(b.edges))
 	copy(es, b.edges)
@@ -75,28 +75,28 @@ func (b *Builder) Build() *Graph {
 		m++
 		tw += e.W
 	}
-	adj := make([][]Neighbor, b.n)
-	for u := range adj {
-		adj[u] = make([]Neighbor, 0, deg[u])
+	off := make([]int, b.n+1)
+	for u := 0; u < b.n; u++ {
+		off[u+1] = off[u] + deg[u]
 	}
+	nbr := make([]Neighbor, off[b.n])
+	cur := make([]int, b.n)
+	copy(cur, off[:b.n])
+	// One pass over the (U,V)-sorted canonical edges fills every row already
+	// sorted: row u receives its To < u entries while the blocks U = a < u are
+	// processed (ascending a), then its To > u entries during block U = u
+	// (ascending V) — so each row is an ascending run followed by another
+	// ascending run over a disjoint higher range.
 	for _, e := range merged {
 		if e.W == 0 {
 			continue
 		}
-		adj[e.U] = append(adj[e.U], Neighbor{To: e.V, W: e.W})
-		adj[e.V] = append(adj[e.V], Neighbor{To: e.U, W: e.W})
+		nbr[cur[e.U]] = Neighbor{To: e.V, W: e.W}
+		cur[e.U]++
+		nbr[cur[e.V]] = Neighbor{To: e.U, W: e.W}
+		cur[e.V]++
 	}
-	// adj[u] built from edges sorted by (U,V): entries with To > u are already
-	// ascending, and entries with To < u were appended in ascending U order as
-	// well, but interleaving of the two passes can break global order; sort to
-	// guarantee the invariant cheaply (rows are typically short).
-	for u := range adj {
-		row := adj[u]
-		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i].To < row[j].To }) {
-			sort.Slice(row, func(i, j int) bool { return row[i].To < row[j].To })
-		}
-	}
-	return &Graph{n: b.n, m: m, adj: adj, totalW: tw}
+	return &Graph{n: b.n, m: m, totalW: tw, off: off, nbr: nbr}
 }
 
 // FromEdges builds a graph with n vertices from an edge list.

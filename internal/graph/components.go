@@ -7,34 +7,39 @@ package graph
 //
 // DCSGreedy (Algorithm 2, line 9) uses this to refine a disconnected solution
 // into its best component, which never lowers the density (Property 1).
+// Membership and visit marks come from pooled scratch buffers, so the call
+// allocates only the component slices themselves.
 func (g *Graph) ConnectedComponents(S []int) [][]int {
-	in := make(map[int]bool, len(S))
+	in := acquireMark(g.n)
+	seen := acquireMark(g.n)
 	for _, v := range S {
-		in[v] = true
+		in.b[v] = true
 	}
-	seen := make(map[int]bool, len(S))
 	var comps [][]int
 	var stack []int
 	for _, s := range S {
-		if seen[s] {
+		if seen.b[s] {
 			continue
 		}
 		var comp []int
 		stack = append(stack[:0], s)
-		seen[s] = true
+		seen.b[s] = true
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for _, nb := range g.adj[u] {
-				if in[nb.To] && !seen[nb.To] {
-					seen[nb.To] = true
-					stack = append(stack, nb.To)
+			g.VisitNeighbors(u, func(v int, _ float64) {
+				if in.b[v] && !seen.b[v] {
+					seen.b[v] = true
+					stack = append(stack, v)
 				}
-			}
+			})
 		}
 		comps = append(comps, comp)
 	}
+	// seen is only ever set on members of S, so clearing via S resets both.
+	in.release(S)
+	seen.release(S)
 	return comps
 }
 

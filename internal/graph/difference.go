@@ -13,48 +13,13 @@ func Difference(g1, g2 *Graph) *Graph {
 // (Section III-D): maximizing density on GD then finds S with
 // ρ2(S) − αρ1(S) maximized. Both graphs must have the same vertex count.
 //
-// The merge walks the two sorted adjacency lists of each vertex in tandem, so
-// construction costs O(m1 + m2 + n) after the graphs are built — matching the
-// complexity analysis in Section IV-B.
+// The merge walks the two sorted adjacency rows of each vertex in tandem,
+// writing directly into one flat CSR array sized up front — so construction
+// costs O(m1 + m2 + n) after the graphs are built (matching the complexity
+// analysis in Section IV-B) and performs a constant number of allocations
+// regardless of n.
 func DifferenceAlpha(g1, g2 *Graph, alpha float64) *Graph {
-	if g1.N() != g2.N() {
-		panic(fmt.Sprintf("graph: difference of graphs with different vertex counts %d vs %d", g1.N(), g2.N()))
-	}
-	n := g1.N()
-	adj := make([][]Neighbor, n)
-	m := 0
-	var tw float64
-	for u := 0; u < n; u++ {
-		a1, a2 := g1.adj[u], g2.adj[u]
-		row := make([]Neighbor, 0, len(a1)+len(a2))
-		i, j := 0, 0
-		for i < len(a1) || j < len(a2) {
-			switch {
-			case j >= len(a2) || (i < len(a1) && a1[i].To < a2[j].To):
-				if w := -alpha * a1[i].W; w != 0 {
-					row = append(row, Neighbor{To: a1[i].To, W: w})
-				}
-				i++
-			case i >= len(a1) || a2[j].To < a1[i].To:
-				row = append(row, Neighbor{To: a2[j].To, W: a2[j].W})
-				j++
-			default: // same neighbor in both graphs
-				if w := a2[j].W - alpha*a1[i].W; w != 0 {
-					row = append(row, Neighbor{To: a1[i].To, W: w})
-				}
-				i++
-				j++
-			}
-		}
-		adj[u] = row
-		for _, nb := range row {
-			if nb.To > u {
-				m++
-				tw += nb.W
-			}
-		}
-	}
-	return &Graph{n: n, m: m, adj: adj, totalW: tw}
+	return merge2(g1, g2, func(w1, w2 float64) float64 { return w2 - alpha*w1 })
 }
 
 // Blend returns the weighted sum a·g1 + b·g2 over the shared vertex set.
@@ -62,46 +27,54 @@ func DifferenceAlpha(g1, g2 *Graph, alpha float64) *Graph {
 // of an expectation graph is Blend(expect, observed, 1−λ, λ). Edges whose
 // blended weight is exactly zero are dropped.
 func Blend(g1, g2 *Graph, a, b float64) *Graph {
+	return merge2(g1, g2, func(w1, w2 float64) float64 { return a*w1 + b*w2 })
+}
+
+// merge2 builds the plain CSR graph whose edge weights are f(w1, w2) over the
+// union of the two edge sets, with absent edges contributing weight 0 and
+// zero results dropped. View inputs are compacted first so the row merge
+// below is a plain array walk.
+func merge2(g1, g2 *Graph, f func(w1, w2 float64) float64) *Graph {
 	if g1.N() != g2.N() {
-		panic(fmt.Sprintf("graph: blend of graphs with different vertex counts %d vs %d", g1.N(), g2.N()))
+		panic(fmt.Sprintf("graph: combining graphs with different vertex counts %d vs %d", g1.N(), g2.N()))
 	}
-	n := g1.N()
-	adj := make([][]Neighbor, n)
+	g1, g2 = g1.Compact(), g2.Compact()
+	n := g1.n
+	off := make([]int, n+1)
+	nbr := make([]Neighbor, 0, len(g1.nbr)+len(g2.nbr))
 	m := 0
 	var tw float64
+	emit := func(u, to int, w float64) {
+		if w == 0 {
+			return
+		}
+		nbr = append(nbr, Neighbor{To: to, W: w})
+		if to > u {
+			m++
+			tw += w
+		}
+	}
 	for u := 0; u < n; u++ {
-		a1, a2 := g1.adj[u], g2.adj[u]
-		row := make([]Neighbor, 0, len(a1)+len(a2))
+		off[u] = len(nbr)
+		a1, a2 := g1.row(u), g2.row(u)
 		i, j := 0, 0
 		for i < len(a1) || j < len(a2) {
 			switch {
 			case j >= len(a2) || (i < len(a1) && a1[i].To < a2[j].To):
-				if w := a * a1[i].W; w != 0 {
-					row = append(row, Neighbor{To: a1[i].To, W: w})
-				}
+				emit(u, a1[i].To, f(a1[i].W, 0))
 				i++
 			case i >= len(a1) || a2[j].To < a1[i].To:
-				if w := b * a2[j].W; w != 0 {
-					row = append(row, Neighbor{To: a2[j].To, W: w})
-				}
+				emit(u, a2[j].To, f(0, a2[j].W))
 				j++
-			default:
-				if w := a*a1[i].W + b*a2[j].W; w != 0 {
-					row = append(row, Neighbor{To: a1[i].To, W: w})
-				}
+			default: // same neighbor in both graphs
+				emit(u, a1[i].To, f(a1[i].W, a2[j].W))
 				i++
 				j++
-			}
-		}
-		adj[u] = row
-		for _, nb := range row {
-			if nb.To > u {
-				m++
-				tw += nb.W
 			}
 		}
 	}
-	return &Graph{n: n, m: m, adj: adj, totalW: tw}
+	off[n] = len(nbr)
+	return &Graph{n: n, m: m, totalW: tw, off: off, nbr: nbr}
 }
 
 // CapWeights returns a copy of the graph where every edge weight above cap is
@@ -109,27 +82,12 @@ func Blend(g1, g2 *Graph, a, b float64) *Graph {
 // ("we set edge weights D(u,v) = 10 if D(u,v) originally was greater than
 // 10") to keep a few very heavy edges from dominating the DCS.
 func (g *Graph) CapWeights(cap float64) *Graph {
-	adj := make([][]Neighbor, g.n)
-	m := 0
-	var tw float64
-	for u := 0; u < g.n; u++ {
-		row := make([]Neighbor, len(g.adj[u]))
-		for i, nb := range g.adj[u] {
-			w := nb.W
-			if w > cap {
-				w = cap
-			}
-			row[i] = Neighbor{To: nb.To, W: w}
+	return g.mapWeights(func(w float64) float64 {
+		if w > cap {
+			return cap
 		}
-		adj[u] = row
-		for _, nb := range row {
-			if nb.To > u {
-				m++
-				tw += nb.W
-			}
-		}
-	}
-	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+		return w
+	})
 }
 
 // DiscretizeLevels maps raw difference weights onto the paper's Discrete
@@ -144,36 +102,18 @@ func (g *Graph) CapWeights(cap float64) *Graph {
 // −4<w<0 → −1, w≤−4 → −2. Weights in (0, lo) are dropped, matching the paper
 // (only differences of at least lo count as a positive signal).
 func (g *Graph) DiscretizeLevels(lo, hi float64) *Graph {
-	adj := make([][]Neighbor, g.n)
-	m := 0
-	var tw float64
-	for u := 0; u < g.n; u++ {
-		var row []Neighbor
-		for _, nb := range g.adj[u] {
-			var w float64
-			switch {
-			case nb.W >= hi:
-				w = 2
-			case nb.W >= lo:
-				w = 1
-			case nb.W > 0:
-				w = 0 // weak positive signal: dropped
-			case nb.W > -(hi - 1):
-				w = -1
-			default:
-				w = -2
-			}
-			if w != 0 {
-				row = append(row, Neighbor{To: nb.To, W: w})
-			}
+	return g.mapWeights(func(w float64) float64 {
+		switch {
+		case w >= hi:
+			return 2
+		case w >= lo:
+			return 1
+		case w > 0:
+			return 0 // weak positive signal: dropped
+		case w > -(hi - 1):
+			return -1
+		default:
+			return -2
 		}
-		adj[u] = row
-		for _, nb := range row {
-			if nb.To > u {
-				m++
-				tw += nb.W
-			}
-		}
-	}
-	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+	})
 }

@@ -4,9 +4,35 @@
 // Vertices are dense integers in [0, n). Edge weights are float64 and may be
 // negative: the central object of the DCS problem is the difference graph
 // GD = G2 − αG1, whose affinity matrix D = A2 − αA1 mixes positive and
-// negative entries. All adjacency lists are kept sorted by neighbor id, which
-// lets Difference build GD with a linear merge and lets Weight answer point
-// queries by binary search.
+// negative entries.
+//
+// # Storage: compressed sparse row
+//
+// A Graph stores its adjacency in CSR form: one flat []Neighbor backing array
+// holding every directed edge entry (each undirected edge appears twice) plus
+// an offsets array, so the neighbor list of u is the contiguous subslice
+// nbr[off[u]:off[u+1]], kept sorted by neighbor id. Sortedness lets Difference
+// build GD with a linear merge and lets Weight answer point queries by binary
+// search; the flat layout means a whole-graph edge scan is a single
+// cache-friendly array walk with no per-vertex indirection.
+//
+// # Views: masked graphs without rebuilding
+//
+// Derived graphs that only *hide* parts of their base — PositivePart (hide
+// non-positive edges) and WithoutVertices (hide all edges incident to a
+// vertex set) — do not copy the CSR arrays. They return a view: a Graph that
+// shares the backing storage and carries a vertex mask and/or a sign filter.
+// Constructing a view costs O(n) for the mask plus a recount of the visible
+// edges (O(Σ deg(v) over newly dropped v) for WithoutVertices, one O(n+m)
+// scan for PositivePart) and performs no per-vertex row allocations, which is
+// what makes iterated top-k mining and the dcsd difference-graph cache cheap.
+// Views compose: a PositivePart of a WithoutVertices view masks both.
+//
+// Every method is mask-aware and views satisfy exactly the same contracts as
+// plain graphs, with one performance caveat: Neighbors on a view must
+// materialize the filtered list and therefore allocates. Hot loops use
+// VisitNeighbors, which is allocation-free on plain graphs and views alike;
+// Compact flattens a view into a plain graph when one is needed.
 package graph
 
 import (
@@ -28,73 +54,203 @@ type Edge struct {
 	W    float64
 }
 
-// Graph is an immutable undirected weighted graph. The zero value is an empty
-// graph with no vertices; use NewBuilder or FromEdges to construct non-empty
-// graphs.
+// Graph is an immutable undirected weighted graph in CSR form, possibly a
+// masked view over another graph's storage (see the package comment). The
+// zero value is an empty graph with no vertices; use NewBuilder or FromEdges
+// to construct non-empty graphs.
 type Graph struct {
 	n      int
-	m      int // number of undirected edges
-	adj    [][]Neighbor
-	totalW float64 // sum of weights over undirected edges
+	m      int     // number of visible undirected edges
+	totalW float64 // sum of weights over visible undirected edges
+
+	// CSR storage, shared (never mutated) between a graph and its views.
+	off []int      // len n+1; row u is nbr[off[u]:off[u+1]]
+	nbr []Neighbor // flat directed adjacency, each undirected edge twice
+
+	// View state. A plain graph has drop == nil and posOnly == false.
+	drop    []bool // drop[v] hides every edge incident to v; nil = none
+	posOnly bool   // hide edges with W ≤ 0
+}
+
+// row returns u's base adjacency row, ignoring any masks.
+func (g *Graph) row(u int) []Neighbor { return g.nbr[g.off[u]:g.off[u+1]] }
+
+// plain reports whether g has no masks (storage = visible graph).
+func (g *Graph) plain() bool { return g.drop == nil && !g.posOnly }
+
+// dropped reports whether vertex u is hidden by the vertex mask.
+func (g *Graph) dropped(u int) bool { return g.drop != nil && g.drop[u] }
+
+// hides reports whether the sign filter hides an edge of weight w.
+func (g *Graph) hides(w float64) bool { return g.posOnly && w <= 0 }
+
+// visibleTo reports whether the entry (to, w) survives both masks.
+func (g *Graph) visibleTo(to int, w float64) bool {
+	return !g.hides(w) && !g.dropped(to)
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
-// M returns the number of undirected edges.
+// M returns the number of (visible) undirected edges.
 func (g *Graph) M() int { return g.m }
 
-// TotalWeight returns the sum of edge weights over all undirected edges.
+// TotalWeight returns the sum of edge weights over all (visible) undirected
+// edges.
 func (g *Graph) TotalWeight() float64 { return g.totalW }
 
-// Neighbors returns the adjacency list of u, sorted by neighbor id. The
-// returned slice is owned by the graph and must not be modified.
-func (g *Graph) Neighbors(u int) []Neighbor { return g.adj[u] }
+// IsView reports whether g is a masked view sharing another graph's storage.
+func (g *Graph) IsView() bool { return !g.plain() }
 
-// OutDegree returns the number of edges incident to u.
-func (g *Graph) OutDegree(u int) int { return len(g.adj[u]) }
-
-// WeightedDegree returns the sum of weights of edges incident to u, i.e. u's
-// degree W(u; G) in the whole graph.
-func (g *Graph) WeightedDegree(u int) float64 {
-	var s float64
-	for _, nb := range g.adj[u] {
-		s += nb.W
+// Compact materializes g into a plain CSR graph with no masks. It returns g
+// itself when g is already plain; otherwise it copies the visible entries
+// into fresh arrays (two allocations).
+func (g *Graph) Compact() *Graph {
+	if g.plain() {
+		return g
 	}
-	return s
-}
-
-// Weight returns the weight of edge (u, v), or 0 if the edge does not exist.
-func (g *Graph) Weight(u, v int) float64 {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i].To >= v })
-	if i < len(a) && a[i].To == v {
-		return a[i].W
-	}
-	return 0
-}
-
-// HasEdge reports whether the edge (u, v) exists.
-func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) != 0 }
-
-// Edges returns every undirected edge once, with U < V, sorted by (U, V).
-func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.m)
+	off := make([]int, g.n+1)
+	nbr := make([]Neighbor, 0, 2*g.m)
 	for u := 0; u < g.n; u++ {
-		for _, nb := range g.adj[u] {
-			if nb.To > u {
-				out = append(out, Edge{U: u, V: nb.To, W: nb.W})
+		off[u] = len(nbr)
+		if g.dropped(u) {
+			continue
+		}
+		for _, nb := range g.row(u) {
+			if g.visibleTo(nb.To, nb.W) {
+				nbr = append(nbr, nb)
 			}
+		}
+	}
+	off[g.n] = len(nbr)
+	return &Graph{n: g.n, m: g.m, totalW: g.totalW, off: off, nbr: nbr}
+}
+
+// Neighbors returns the adjacency list of u, sorted by neighbor id. On a
+// plain graph this is a zero-copy subslice of the CSR array, owned by the
+// graph and not to be modified. On a view it is a freshly allocated filtered
+// copy — hot loops that may receive views should use VisitNeighbors instead.
+func (g *Graph) Neighbors(u int) []Neighbor {
+	if g.plain() {
+		return g.row(u)
+	}
+	if g.dropped(u) {
+		return nil
+	}
+	row := g.row(u)
+	out := make([]Neighbor, 0, len(row))
+	for _, nb := range row {
+		if g.visibleTo(nb.To, nb.W) {
+			out = append(out, nb)
 		}
 	}
 	return out
 }
 
-// VisitEdges calls fn for every undirected edge once, with u < v.
+// VisitNeighbors calls fn for every visible neighbor of u in ascending id
+// order. It never allocates, on plain graphs and views alike; it is the
+// iteration primitive the solvers use on derived graphs.
+func (g *Graph) VisitNeighbors(u int, fn func(v int, w float64)) {
+	if g.plain() {
+		for _, nb := range g.row(u) {
+			fn(nb.To, nb.W)
+		}
+		return
+	}
+	if g.dropped(u) {
+		return
+	}
+	for _, nb := range g.row(u) {
+		if g.visibleTo(nb.To, nb.W) {
+			fn(nb.To, nb.W)
+		}
+	}
+}
+
+// OutDegree returns the number of (visible) edges incident to u. O(1) on a
+// plain graph, O(deg u) on a view.
+func (g *Graph) OutDegree(u int) int {
+	if g.plain() {
+		return g.off[u+1] - g.off[u]
+	}
+	if g.dropped(u) {
+		return 0
+	}
+	d := 0
+	for _, nb := range g.row(u) {
+		if g.visibleTo(nb.To, nb.W) {
+			d++
+		}
+	}
+	return d
+}
+
+// WeightedDegree returns the sum of weights of edges incident to u, i.e. u's
+// degree W(u; G) in the whole graph.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	if g.plain() {
+		for _, nb := range g.row(u) {
+			s += nb.W
+		}
+		return s
+	}
+	if g.dropped(u) {
+		return 0
+	}
+	for _, nb := range g.row(u) {
+		if g.visibleTo(nb.To, nb.W) {
+			s += nb.W
+		}
+	}
+	return s
+}
+
+// Weight returns the weight of edge (u, v), or 0 if the edge does not exist
+// (or is hidden by a mask).
+func (g *Graph) Weight(u, v int) float64 {
+	if g.dropped(u) || g.dropped(v) {
+		return 0
+	}
+	a := g.row(u)
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= v })
+	if i < len(a) && a[i].To == v && !g.hides(a[i].W) {
+		return a[i].W
+	}
+	return 0
+}
+
+// HasEdge reports whether the edge (u, v) exists (and is visible).
+func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) != 0 }
+
+// Edges returns every visible undirected edge once, with U < V, sorted by
+// (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	g.VisitEdges(func(u, v int, w float64) {
+		out = append(out, Edge{U: u, V: v, W: w})
+	})
+	return out
+}
+
+// VisitEdges calls fn for every visible undirected edge once, with u < v.
 func (g *Graph) VisitEdges(fn func(u, v int, w float64)) {
+	if g.plain() {
+		for u := 0; u < g.n; u++ {
+			for _, nb := range g.row(u) {
+				if nb.To > u {
+					fn(u, nb.To, nb.W)
+				}
+			}
+		}
+		return
+	}
 	for u := 0; u < g.n; u++ {
-		for _, nb := range g.adj[u] {
-			if nb.To > u {
+		if g.dropped(u) {
+			continue
+		}
+		for _, nb := range g.row(u) {
+			if nb.To > u && g.visibleTo(nb.To, nb.W) {
 				fn(u, nb.To, nb.W)
 			}
 		}
@@ -108,19 +264,32 @@ func (g *Graph) VisitEdges(fn func(u, v int, w float64)) {
 // W(S) = k(k−1) and average degree ρ(S) = k−1. Duplicate entries in S are an
 // error in the caller; the result is then undefined.
 func (g *Graph) TotalDegreeOf(S []int) float64 {
-	in := make(map[int]bool, len(S))
+	in := acquireMark(g.n)
 	for _, v := range S {
-		in[v] = true
+		in.b[v] = true
 	}
 	var w float64
 	for _, u := range S {
-		for _, nb := range g.adj[u] {
-			if in[nb.To] {
-				w += nb.W
+		g.VisitNeighbors(u, func(v int, wt float64) {
+			if in.b[v] {
+				w += wt
 			}
-		}
+		})
 	}
+	in.release(S)
 	return w
+}
+
+// SubgraphMetrics returns the three density figures of S from a single walk:
+// W(S), ρ(S) = W(S)/|S|, and the edge density W(S)/|S|². All are 0 for an
+// empty S. Result constructors use this instead of three separate calls that
+// would each rebuild the membership set.
+func (g *Graph) SubgraphMetrics(S []int) (w, avgDeg, edgeDensity float64) {
+	if len(S) == 0 {
+		return 0, 0, 0
+	}
+	w = g.TotalDegreeOf(S)
+	return w, w / float64(len(S)), w / float64(len(S)*len(S))
 }
 
 // AverageDegreeOf returns ρ(S) = W(S)/|S|, the average-degree density of the
@@ -145,11 +314,11 @@ func (g *Graph) EdgeDensityOf(S []int) float64 {
 // induced by the membership set in (in[v] == true iff v ∈ S).
 func (g *Graph) DegreeIn(u int, in []bool) float64 {
 	var s float64
-	for _, nb := range g.adj[u] {
-		if in[nb.To] {
-			s += nb.W
+	g.VisitNeighbors(u, func(v int, w float64) {
+		if in[v] {
+			s += w
 		}
-	}
+	})
 	return s
 }
 
@@ -157,20 +326,21 @@ func (g *Graph) DegreeIn(u int, in []bool) float64 {
 // vertices [0, len(S)), together with the mapping local→original (which is a
 // copy of S). Vertices in S keep their relative order.
 func (g *Graph) Induced(S []int) (*Graph, []int) {
-	local := make(map[int]int, len(S))
 	orig := make([]int, len(S))
+	copy(orig, S)
+	local := acquireID(g.n)
 	for i, v := range S {
-		local[v] = i
-		orig[i] = v
+		local.b[v] = i + 1 // 0 means "not in S"
 	}
 	b := NewBuilder(len(S))
 	for i, v := range S {
-		for _, nb := range g.adj[v] {
-			if j, ok := local[nb.To]; ok && nb.To > v {
-				b.AddEdge(i, j, nb.W)
+		g.VisitNeighbors(v, func(to int, w float64) {
+			if j := local.b[to]; j != 0 && to > v {
+				b.AddEdge(i, j-1, w)
 			}
-		}
+		})
 	}
+	local.release(S)
 	return b.Build(), orig
 }
 
@@ -202,28 +372,84 @@ func (g *Graph) MaxEdge() (Edge, bool) {
 	return best, found
 }
 
-// PositivePart returns GD+: the graph over the same vertex set containing
-// exactly the edges of g with strictly positive weight.
-func (g *Graph) PositivePart() *Graph {
-	adj := make([][]Neighbor, g.n)
+// recount recomputes m and totalW from the visible edges. Used by view
+// constructors that cannot derive the counts incrementally.
+func (g *Graph) recount() {
 	m := 0
 	var tw float64
-	for u := 0; u < g.n; u++ {
-		var row []Neighbor
-		for _, nb := range g.adj[u] {
-			if nb.W > 0 {
-				row = append(row, nb)
-			}
+	g.VisitEdges(func(u, v int, w float64) {
+		m++
+		tw += w
+	})
+	g.m, g.totalW = m, tw
+}
+
+// PositivePart returns GD+: the graph over the same vertex set containing
+// exactly the edges of g with strictly positive weight. The result is a view
+// sharing g's storage — construction is one counting scan with no row
+// allocations, and iteration filters by sign on the fly. Suited to one-shot
+// consumers (counts, stats, a single edge scan); the iteration-heavy solvers
+// use PositivePartCompact instead, which materializes GD+ in the same single
+// pass.
+func (g *Graph) PositivePart() *Graph {
+	if g.posOnly {
+		return g
+	}
+	v := &Graph{n: g.n, off: g.off, nbr: g.nbr, drop: g.drop, posOnly: true}
+	v.recount()
+	return v
+}
+
+// PositivePartCompact returns GD+ as a plain materialized graph in a single
+// pass — equivalent to PositivePart().Compact() but without the intermediate
+// view's counting scan. This is what the solvers call at their entry: they
+// make many passes over GD+, so the two flat allocations amortize
+// immediately. Use PositivePart when only counts or a single scan of GD+ are
+// needed.
+func (g *Graph) PositivePartCompact() *Graph {
+	return g.mapWeights(func(w float64) float64 {
+		if w > 0 {
+			return w
 		}
-		adj[u] = row
-		for _, nb := range row {
-			if nb.To > u {
-				m++
-				tw += nb.W
-			}
+		return 0 // non-positive: dropped, like every zero mapWeights result
+	})
+}
+
+// WithoutVertices returns the graph with every vertex of S isolated (all its
+// incident edges removed). The vertex count is unchanged, so ids remain
+// stable — used by iterative top-k contrast mining to exclude previously
+// found subgraphs. The result is a view sharing g's storage: cost is O(n)
+// for the copied vertex mask plus O(Σ deg(v)) over the newly dropped
+// vertices to update the edge counts, with no row allocations.
+func (g *Graph) WithoutVertices(S []int) *Graph {
+	drop := make([]bool, g.n)
+	if g.drop != nil {
+		copy(drop, g.drop)
+	}
+	newly := make([]int, 0, len(S))
+	for _, v := range S {
+		if !drop[v] {
+			drop[v] = true
+			newly = append(newly, v)
 		}
 	}
-	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+	v := &Graph{n: g.n, m: g.m, totalW: g.totalW, off: g.off, nbr: g.nbr, drop: drop, posOnly: g.posOnly}
+	// Subtract every edge that just became invisible: edges visible in g with
+	// at least one endpoint newly dropped. An edge between two newly dropped
+	// vertices is walked from both rows; the smaller endpoint counts it.
+	for _, u := range newly {
+		for _, nb := range g.row(u) {
+			if g.hides(nb.W) || g.dropped(nb.To) {
+				continue // was not visible in g
+			}
+			if nb.To < u && drop[nb.To] && !g.dropped(nb.To) {
+				continue // both ends newly dropped: counted from nb.To's row
+			}
+			v.m--
+			v.totalW -= nb.W
+		}
+	}
+	return v
 }
 
 // Negate returns the graph with every edge weight multiplied by −1. Mining a
@@ -233,54 +459,44 @@ func (g *Graph) Negate() *Graph {
 }
 
 // Scale returns the graph with every edge weight multiplied by c. A zero c
-// yields an edgeless graph.
+// yields an edgeless graph. The result is a plain (materialized) graph even
+// when g is a view: scaling changes weights, which masks cannot express.
 func (g *Graph) Scale(c float64) *Graph {
 	if c == 0 {
-		return &Graph{n: g.n, adj: make([][]Neighbor, g.n)}
+		return &Graph{n: g.n, off: make([]int, g.n+1)}
 	}
-	adj := make([][]Neighbor, g.n)
-	for u := 0; u < g.n; u++ {
-		row := make([]Neighbor, len(g.adj[u]))
-		for i, nb := range g.adj[u] {
-			row[i] = Neighbor{To: nb.To, W: nb.W * c}
-		}
-		adj[u] = row
-	}
-	return &Graph{n: g.n, m: g.m, adj: adj, totalW: g.totalW * c}
+	return g.mapWeights(func(w float64) float64 { return w * c })
 }
 
-// WithoutVertices returns the graph with every vertex of S isolated (all its
-// incident edges removed). The vertex count is unchanged, so ids remain
-// stable — used by iterative top-k contrast mining to exclude previously
-// found subgraphs.
-func (g *Graph) WithoutVertices(S []int) *Graph {
-	drop := make(map[int]bool, len(S))
-	for _, v := range S {
-		drop[v] = true
-	}
-	adj := make([][]Neighbor, g.n)
+// mapWeights materializes a plain graph applying f to every visible edge
+// weight; edges for which f returns 0 are dropped. One pass, two allocations.
+func (g *Graph) mapWeights(f func(w float64) float64) *Graph {
+	off := make([]int, g.n+1)
+	nbr := make([]Neighbor, 0, 2*g.m)
 	m := 0
 	var tw float64
 	for u := 0; u < g.n; u++ {
-		if drop[u] {
-			adj[u] = nil
+		off[u] = len(nbr)
+		if g.dropped(u) {
 			continue
 		}
-		var row []Neighbor
-		for _, nb := range g.adj[u] {
-			if !drop[nb.To] {
-				row = append(row, nb)
+		for _, nb := range g.row(u) {
+			if !g.visibleTo(nb.To, nb.W) {
+				continue
 			}
-		}
-		adj[u] = row
-		for _, nb := range row {
+			w := f(nb.W)
+			if w == 0 {
+				continue
+			}
+			nbr = append(nbr, Neighbor{To: nb.To, W: w})
 			if nb.To > u {
 				m++
-				tw += nb.W
+				tw += w
 			}
 		}
 	}
-	return &Graph{n: g.n, m: m, adj: adj, totalW: tw}
+	off[g.n] = len(nbr)
+	return &Graph{n: g.n, m: m, totalW: tw, off: off, nbr: nbr}
 }
 
 // Stats summarizes a (difference) graph the way Table II of the paper does.
@@ -318,7 +534,7 @@ func (g *Graph) ComputeStats() Stats {
 		st.AvgW = g.totalW / float64(g.m)
 	}
 	for u := 0; u < g.n; u++ {
-		if d := len(g.adj[u]); d > st.MaxDeg {
+		if d := g.OutDegree(u); d > st.MaxDeg {
 			st.MaxDeg = d
 		}
 	}

@@ -39,11 +39,11 @@ func LocalSearch(g *graph.Graph, alpha float64, seed, maxMoves int) Result {
 	// addGain(v) = W(v;S)/1 … joining v adds its in-set weight minus α·|S|.
 	inWeight := func(v int) float64 {
 		var s float64
-		for _, nb := range g.Neighbors(v) {
-			if in[nb.To] {
-				s += nb.W
+		g.VisitNeighbors(v, func(u int, w float64) {
+			if in[u] {
+				s += w
 			}
-		}
+		})
 		return s
 	}
 	for move := 0; move < maxMoves; move++ {
@@ -51,11 +51,11 @@ func LocalSearch(g *graph.Graph, alpha float64, seed, maxMoves int) Result {
 		bestV, bestGain := -1, 0.0
 		cand := map[int]bool{}
 		for u := range in {
-			for _, nb := range g.Neighbors(u) {
-				if !in[nb.To] {
-					cand[nb.To] = true
+			g.VisitNeighbors(u, func(v int, _ float64) {
+				if !in[v] {
+					cand[v] = true
 				}
-			}
+			})
 		}
 		order := make([]int, 0, len(cand))
 		for v := range cand {
@@ -116,11 +116,11 @@ func Best(g *graph.Graph, alpha float64, k int) Result {
 	}
 	deg := make([]float64, n)
 	for v := 0; v < n; v++ {
-		for _, nb := range g.Neighbors(v) {
-			if nb.W > 0 {
-				deg[v] += nb.W
+		g.VisitNeighbors(v, func(_ int, w float64) {
+			if w > 0 {
+				deg[v] += w
 			}
-		}
+		})
 	}
 	seeds := make([]int, n)
 	for i := range seeds {

@@ -138,11 +138,11 @@ func (v *Vector) OnSimplex(tol float64) bool {
 func Affinity(g *graph.Graph, v *Vector) float64 {
 	var f float64
 	v.Visit(func(u int, xu float64) {
-		for _, nb := range g.Neighbors(u) {
-			if xv, ok := v.x[nb.To]; ok {
-				f += xu * xv * nb.W
+		g.VisitNeighbors(u, func(to int, w float64) {
+			if xv, ok := v.x[to]; ok {
+				f += xu * xv * w
 			}
-		}
+		})
 	})
 	return f
 }
@@ -150,11 +150,11 @@ func Affinity(g *graph.Graph, v *Vector) float64 {
 // DxEntry returns (Dx)_u = Σ_v D(u,v)·xv for a single vertex.
 func DxEntry(g *graph.Graph, v *Vector, u int) float64 {
 	var s float64
-	for _, nb := range g.Neighbors(u) {
-		if xv, ok := v.x[nb.To]; ok {
-			s += nb.W * xv
+	g.VisitNeighbors(u, func(to int, w float64) {
+		if xv, ok := v.x[to]; ok {
+			s += w * xv
 		}
-	}
+	})
 	return s
 }
 
@@ -170,9 +170,9 @@ func GradientMap(g *graph.Graph, v *Vector) map[int]float64 {
 	grad := make(map[int]float64, 2*len(v.x))
 	v.Visit(func(u int, xu float64) {
 		grad[u] += 0 // ensure support vertices are present even if isolated
-		for _, nb := range g.Neighbors(u) {
-			grad[nb.To] += 2 * nb.W * xu
-		}
+		g.VisitNeighbors(u, func(to int, w float64) {
+			grad[to] += 2 * w * xu
+		})
 	})
 	return grad
 }

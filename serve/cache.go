@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// diffKey identifies one cached difference graph: the two snapshot identities
+// (name + version, so replacing a snapshot naturally invalidates) and the
+// alpha of GD = G2 − αG1. Direction matters — (a, b) and (b, a) are distinct
+// keys — which is how the topics handler caches both the emerging and the
+// disappearing difference graph of the same pair.
+type diffKey struct {
+	name1 string
+	ver1  int
+	name2 string
+	ver2  int
+	alpha float64
+}
+
+// diffCache is a small LRU of built difference graphs keyed by snapshot pair
+// and alpha. Graphs are immutable, so a cached *dcs.Graph may be served to
+// any number of concurrent requests; on a miss the build runs outside the
+// lock (two racing requests may both build — both results are identical and
+// the second insert wins harmlessly).
+type diffCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[diffKey]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type diffEntry struct {
+	key diffKey
+	gd  *dcs.Graph
+}
+
+func newDiffCache(capacity int) *diffCache {
+	return &diffCache{
+		cap:     capacity,
+		entries: make(map[diffKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// disabled reports whether the cache was configured away (capacity 0); a
+// disabled cache stays silent — no counter churn, no insert/evict cycles.
+func (c *diffCache) disabled() bool { return c.cap <= 0 }
+
+// get returns the cached graph for key, bumping its recency.
+func (c *diffCache) get(key diffKey) (*dcs.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*diffEntry).gd, true
+}
+
+// put inserts a built graph, evicting the least recently used entry beyond
+// capacity. current (optional) is evaluated under the cache lock and vetoes
+// the insert; because purgeName serializes on the same lock and snapshot
+// replacement commits to the store before purging, a put racing a
+// replacement either loses to the purge (inserted, then removed) or sees the
+// bumped version (vetoed) — a stale key can never outlive the purge.
+func (c *diffCache) put(key diffKey, gd *dcs.Graph, current func() bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if current != nil && !current() {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*diffEntry).gd = gd
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&diffEntry{key: key, gd: gd})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*diffEntry).key)
+	}
+}
+
+// purgeName drops every entry that references the named snapshot (either
+// side). Called when a snapshot is replaced: the version bump already makes
+// those entries unmatchable, so without the purge up to capacity−1 dead
+// O(m)-sized graphs would stay pinned until ordinary LRU eviction.
+func (c *diffCache) purgeName(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.name1 == name || key.name2 == name {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// CacheStats reports the difference-graph cache counters; exposed on
+// /healthz and used by tests to assert that a warm request skipped the GD
+// rebuild.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Len    int    `json:"len"`
+}
+
+func (c *diffCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Len: c.order.Len()}
+}
+
+// DiffCacheStats returns the current difference-graph cache counters.
+func (s *Server) DiffCacheStats() CacheStats { return s.dcache.stats() }
+
+// differenceGraph returns GD = g2 − α·g1, serving it from the cache when both
+// sides are named snapshots (their name+version pair is a stable identity;
+// inline graphs have none and are always built fresh).
+func (s *Server) differenceGraph(g1, g2 *dcs.Graph, r1, r2 SnapshotRef, alpha float64) *dcs.Graph {
+	if r1.Inline || r2.Inline || s.dcache.disabled() {
+		return dcs.DifferenceAlpha(g1, g2, alpha)
+	}
+	key := diffKey{name1: r1.Name, ver1: r1.Version, name2: r2.Name, ver2: r2.Version, alpha: alpha}
+	if gd, ok := s.dcache.get(key); ok {
+		return gd
+	}
+	gd := dcs.DifferenceAlpha(g1, g2, alpha)
+	// Only cache if both snapshots are still current at insert time: a
+	// replacement that landed during the build purges this pair, and
+	// inserting the now-unmatchable key would pin a dead graph in an LRU
+	// slot. The check runs under the cache lock (see put) so it cannot race
+	// the purge.
+	s.dcache.put(key, gd, func() bool {
+		return s.snapshotCurrent(r1) && s.snapshotCurrent(r2)
+	})
+	return gd
+}
+
+// snapshotCurrent reports whether the referenced snapshot version is still
+// the registered one.
+func (s *Server) snapshotCurrent(r SnapshotRef) bool {
+	snap, ok := s.store.Get(r.Name)
+	return ok && snap.Version == r.Version
+}

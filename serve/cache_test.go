@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// stripElapsed zeroes the timing field so warm and cold responses compare
+// byte-for-byte.
+func stripElapsed(r *DCSResponse) { r.ElapsedMS = 0 }
+
+// assertCache fetches the cache counters and compares.
+func assertCache(t *testing.T, s *Server, wantHits, wantMisses uint64) {
+	t.Helper()
+	st := s.DiffCacheStats()
+	if st.Hits != wantHits || st.Misses != wantMisses {
+		t.Fatalf("cache stats hits=%d misses=%d, want hits=%d misses=%d",
+			st.Hits, st.Misses, wantHits, wantMisses)
+	}
+}
+
+// TestDiffCacheWarmRequestIdentical asserts the core cache contract: a warm
+// /v1/dcs request against a cached snapshot pair skips the GD rebuild (hit
+// counter moves) and returns exactly the cold build's results.
+func TestDiffCacheWarmRequestIdentical(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", K: 3}
+
+	var cold, warm DCSResponse
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &cold); code != http.StatusOK {
+		t.Fatalf("cold request: status %d", code)
+	}
+	assertCache(t, s, 0, 1)
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &warm); code != http.StatusOK {
+		t.Fatalf("warm request: status %d", code)
+	}
+	assertCache(t, s, 1, 1)
+
+	stripElapsed(&cold)
+	stripElapsed(&warm)
+	if len(warm.Results) == 0 {
+		t.Fatal("no results returned")
+	}
+	if len(warm.Results) != len(cold.Results) {
+		t.Fatalf("warm returned %d results, cold %d", len(warm.Results), len(cold.Results))
+	}
+	for i := range warm.Results {
+		got, want := warm.Results[i], cold.Results[i]
+		if got.Density != want.Density || got.TotalWeight != want.TotalWeight ||
+			got.EdgeDensity != want.EdgeDensity || len(got.S) != len(want.S) {
+			t.Fatalf("warm result %d = %+v differs from cold %+v", i, got, want)
+		}
+		for j := range got.S {
+			if got.S[j] != want.S[j] {
+				t.Fatalf("warm result %d vertex set %v differs from cold %v", i, got.S, want.S)
+			}
+		}
+	}
+}
+
+// TestDiffCacheAlphaKeyed asserts alpha participates in the cache key: the
+// same pair at a different alpha is a distinct entry, and each alpha warms
+// independently with results identical to its cold build.
+func TestDiffCacheAlphaKeyed(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+
+	run := func(alpha float64) DCSResponse {
+		var resp DCSResponse
+		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: alpha}
+		if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
+			t.Fatalf("alpha=%v: status %d", alpha, code)
+		}
+		stripElapsed(&resp)
+		return resp
+	}
+
+	coldA1 := run(1)
+	assertCache(t, s, 0, 1)
+	coldA2 := run(2)
+	assertCache(t, s, 0, 2) // alpha=2 is a different key: miss, not hit
+	warmA2 := run(2)
+	assertCache(t, s, 1, 2)
+	warmA1 := run(1)
+	assertCache(t, s, 2, 2)
+
+	if len(warmA1.Results) == 0 || len(warmA2.Results) == 0 {
+		t.Fatal("no results returned")
+	}
+	if warmA1.Results[0].Density != coldA1.Results[0].Density {
+		t.Fatalf("alpha=1 warm density %v differs from cold %v",
+			warmA1.Results[0].Density, coldA1.Results[0].Density)
+	}
+	if warmA2.Results[0].Density != coldA2.Results[0].Density {
+		t.Fatalf("alpha=2 warm density %v differs from cold %v",
+			warmA2.Results[0].Density, coldA2.Results[0].Density)
+	}
+}
+
+// TestDiffCacheTopicsAndDirections: /v1/topics shares the cache, and the two
+// directions occupy distinct (ordered) keys.
+func TestDiffCacheTopicsAndDirections(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+
+	get := func(path string) TopicsResponse {
+		var resp TopicsResponse
+		if code := doJSON(t, s, http.MethodGet, path, nil, &resp); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, code)
+		}
+		return resp
+	}
+	cold := get("/v1/topics?g1=old&g2=new")
+	assertCache(t, s, 0, 1)
+	get("/v1/topics?g1=old&g2=new&direction=disappearing")
+	assertCache(t, s, 0, 2) // reversed pair: distinct key
+	warm := get("/v1/topics?g1=old&g2=new")
+	assertCache(t, s, 1, 2)
+
+	if len(cold.Topics) != len(warm.Topics) {
+		t.Fatalf("warm topics count %d differs from cold %d", len(warm.Topics), len(cold.Topics))
+	}
+	for i := range cold.Topics {
+		if cold.Topics[i].Affinity != warm.Topics[i].Affinity {
+			t.Fatalf("topic %d affinity differs warm vs cold", i)
+		}
+	}
+}
+
+// TestDiffCacheVersionInvalidation: replacing a snapshot bumps its version,
+// so the next request misses instead of serving the stale difference.
+func TestDiffCacheVersionInvalidation(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	assertCache(t, s, 0, 1)
+
+	// Replace "new" with a different graph; the old cache entry must not serve.
+	g1, _ := fig1Pair()
+	if code := doJSON(t, s, http.MethodPost, "/v1/snapshots",
+		SnapshotRequest{Name: "new", GraphJSON: g1}, nil); code != http.StatusOK {
+		t.Fatalf("replace snapshot: status %d", code)
+	}
+	// Replacement purges the dead entries immediately, not just logically.
+	if st := s.DiffCacheStats(); st.Len != 0 {
+		t.Fatalf("cache still holds %d entries after snapshot replacement", st.Len)
+	}
+	var resp DCSResponse
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp)
+	assertCache(t, s, 0, 2)
+	// g1 − g1 difference is empty: density 0 proves the result is fresh.
+	if len(resp.Results) > 0 && resp.Results[0].Density > 0 {
+		t.Fatalf("stale difference served after snapshot replacement: %+v", resp.Results[0])
+	}
+}
+
+// TestDiffCacheInlineNotCached: inline graphs have no stable identity and
+// bypass the cache entirely.
+func TestDiffCacheInlineNotCached(t *testing.T) {
+	s := New(Config{})
+	g1, g2 := fig1Pair()
+	req := DCSRequest{Measure: "avgdeg", Graph1: &g1, Graph2: &g2}
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	assertCache(t, s, 0, 0)
+}
+
+// TestDiffCacheDisabled: DiffCacheSize -1 turns the cache off entirely —
+// no entries, no counter churn.
+func TestDiffCacheDisabled(t *testing.T) {
+	s := New(Config{DiffCacheSize: -1})
+	upload(t, s)
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	var first, second DCSResponse
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, &first)
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, &second)
+	assertCache(t, s, 0, 0)
+	if st := s.DiffCacheStats(); st.Len != 0 {
+		t.Fatalf("disabled cache holds %d entries", st.Len)
+	}
+	if len(first.Results) == 0 || first.Results[0].Density != second.Results[0].Density {
+		t.Fatalf("uncached requests disagree: %+v vs %+v", first.Results, second.Results)
+	}
+}
+
+// TestDiffCacheEviction: the LRU respects its capacity bound.
+func TestDiffCacheEviction(t *testing.T) {
+	s := New(Config{DiffCacheSize: 2})
+	upload(t, s)
+	for _, alpha := range []float64{1, 2, 3} {
+		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: alpha}
+		doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	}
+	st := s.DiffCacheStats()
+	if st.Len != 2 {
+		t.Fatalf("cache holds %d entries, capacity is 2", st.Len)
+	}
+	// alpha=1 was evicted (LRU): requesting it again misses.
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: 1}
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	if got := s.DiffCacheStats(); got.Misses != 4 || got.Hits != 0 {
+		t.Fatalf("evicted entry served from cache: %+v", got)
+	}
+}
+
+// TestHealthzReportsCache: the counters surface on /healthz.
+func TestHealthzReportsCache(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
+	var h HealthResponse
+	if code := doJSON(t, s, http.MethodGet, "/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.DiffCache.Hits != 1 || h.DiffCache.Misses != 1 || h.DiffCache.Len != 1 {
+		t.Fatalf("healthz cache stats %+v, want hits=1 misses=1 len=1", h.DiffCache)
+	}
+}

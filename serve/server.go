@@ -33,6 +33,12 @@ type Config struct {
 	// tiny request cannot demand O(n) allocations for an astronomical n.
 	// Operator-preloaded snapshots are not subject to it. Default 2,000,000.
 	MaxVertices int
+	// DiffCacheSize bounds the difference-graph LRU: built GD = G2 − αG1
+	// graphs are cached per (snapshot1, snapshot2, alpha) so repeated /v1/dcs
+	// and /v1/topics calls against the same snapshot pair skip the O(m1+m2+n)
+	// rebuild. Replacing a snapshot bumps its version and thereby invalidates
+	// its cached differences. Default 64 entries; negative disables caching.
+	DiffCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -48,17 +54,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxVertices == 0 {
 		c.MaxVertices = 2_000_000
 	}
+	if c.DiffCacheSize == 0 {
+		c.DiffCacheSize = 64
+	}
 	return c
 }
 
 // Server is the dcsd HTTP service; it implements http.Handler. Construct
 // with New, preload snapshots through Store, and hand it to http.Serve.
 type Server struct {
-	cfg   Config
-	store *Store
-	pool  *workerPool
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	store  *Store
+	pool   *workerPool
+	dcache *diffCache
+	mux    *http.ServeMux
+	start  time.Time
 }
 
 // New returns a ready Server with an empty snapshot registry.
@@ -69,6 +79,9 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.dcache = newDiffCache(max(s.cfg.DiffCacheSize, 0))
+	// Replacing a snapshot (through any path) purges its cached differences.
+	s.store.onReplace = s.dcache.purgeName
 	s.pool = newWorkerPool(s.cfg.PoolSize)
 	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("/v1/dcs", s.handleDCS)
@@ -130,6 +143,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Snapshots: s.store.Len(),
 		InFlight:  s.pool.InFlight(),
 		UptimeSec: time.Since(s.start).Seconds(),
+		DiffCache: s.dcache.stats(),
 	})
 }
 
@@ -304,7 +318,7 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Ratio = rj
 	case "avgdeg":
-		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
 		for _, res := range dcs.TopKAverageDegreeDCSOn(gd, k) {
 			if err := dcs.ValidateAverageDegreeResult(gd, res); err != nil {
 				writeError(w, http.StatusInternalServerError, "result failed validation: %s", err)
@@ -321,7 +335,7 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	case "affinity":
-		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
 		if k == 1 {
 			res := dcs.FindGraphAffinityDCSOn(gd, s.options())
 			if err := dcs.ValidateGraphAffinityResult(gd, res); err != nil {
@@ -335,7 +349,7 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	case "totalweight":
-		gd := dcs.DifferenceAlpha(g1, g2, alpha)
+		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
 		res := dcs.FindMaxTotalWeightSubgraphOn(gd)
 		resp.Results = append(resp.Results, SubgraphJSON{
 			S:              res.S,
@@ -392,10 +406,14 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	started := time.Now()
-	// Emerging topics are denser in g2; disappearing ones denser in g1.
-	gd := dcs.Difference(g1, g2)
+	// Emerging topics are denser in g2; disappearing ones denser in g1. The
+	// two directions cache under distinct (ordered) keys; only the requested
+	// one is built.
+	var gd *dcs.Graph
 	if direction == "disappearing" {
-		gd = dcs.Difference(g2, g1)
+		gd = s.differenceGraph(g2, g1, r2, r1, 1)
+	} else {
+		gd = s.differenceGraph(g1, g2, r1, r2, 1)
 	}
 	cliques := dcs.TopContrastCliquesOn(gd, s.options())
 	resp := TopicsResponse{G1: r1, G2: r2, Direction: direction}
@@ -410,13 +428,14 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 }
 
 // gaSubgraph assembles the response record for an affinity-measure subgraph,
-// re-deriving the secondary metrics from the difference graph.
+// re-deriving the secondary metrics from the difference graph in one walk.
 func gaSubgraph(gd *dcs.Graph, S []int, affinity float64, weights []float64) SubgraphJSON {
+	w, density, edgeDensity := gd.SubgraphMetrics(S)
 	return SubgraphJSON{
 		S:              S,
-		Density:        gd.AverageDegreeOf(S),
-		TotalWeight:    gd.TotalDegreeOf(S),
-		EdgeDensity:    gd.EdgeDensityOf(S),
+		Density:        density,
+		TotalWeight:    w,
+		EdgeDensity:    edgeDensity,
 		Affinity:       affinity,
 		Weights:        weights,
 		PositiveClique: gd.IsPositiveClique(S),

@@ -37,6 +37,11 @@ func (s *Snapshot) Info() SnapshotInfo {
 type Store struct {
 	mu    sync.RWMutex
 	snaps map[string]*Snapshot
+	// onReplace, when set, is called (outside the store lock) after a name's
+	// version is bumped. The Server wires it to the difference-graph cache's
+	// purge, so replacements through any path — the HTTP handler or an
+	// embedder calling Store().Put directly — drop the dead cache entries.
+	onReplace func(name string)
 }
 
 // NewStore returns an empty registry.
@@ -48,14 +53,23 @@ func NewStore() *Store {
 // the stored snapshot's info.
 func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	version := 1
 	if prev, ok := st.snaps[name]; ok {
 		version = prev.Version + 1
 	}
 	s := &Snapshot{Name: name, Version: version, Graph: g, UpdatedAt: time.Now()}
 	st.snaps[name] = s
-	return s.Info()
+	info := s.Info()
+	onReplace := st.onReplace
+	st.mu.Unlock()
+	// Outside the lock: the hook takes the cache lock, which itself reads the
+	// store (cache.mu → store.mu); calling under store.mu would invert that
+	// order. The store commit above still strictly precedes the purge, which
+	// is what the cache's put-veto protocol relies on.
+	if version > 1 && onReplace != nil {
+		onReplace(name)
+	}
+	return info
 }
 
 // Get resolves a name to its current snapshot.

@@ -169,6 +169,8 @@ type HealthResponse struct {
 	Snapshots int     `json:"snapshots"`
 	InFlight  int     `json:"in_flight"`
 	UptimeSec float64 `json:"uptime_sec"`
+	// DiffCache reports the difference-graph cache counters.
+	DiffCache CacheStats `json:"diff_cache"`
 }
 
 // ErrorResponse carries any non-2xx body.
