@@ -4,6 +4,10 @@
 // greedy peeling, top-k mining and the clique-collection pipeline — over the
 // synthetic DBLP-like snapshot pair from internal/datagen.
 //
+// `dcsbench -json` (cmd/dcsbench/corejson.go) mirrors these fixtures and
+// loop bodies for the machine-readable BENCH_*.json trajectory; keep the two
+// in sync when changing seeds, sizes, or adding benchmarks.
+//
 //	go test -bench=Core -benchmem
 package dcs_test
 

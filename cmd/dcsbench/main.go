@@ -7,9 +7,14 @@
 //	dcsbench [-quick] [-seed N] [table2|table4|table5|table6|table7|fig2|
 //	                             table8|table9|table10|table11|table12|
 //	                             table13|fig3|table14|all]
+//	dcsbench -json [-quick]
 //
 // With no experiment argument it runs everything except the slow timing
-// experiments (table7, fig2); "all" includes those too.
+// experiments (table7, fig2); "all" includes those too. With -json it
+// instead runs the core-substrate micro-benchmarks (the BenchmarkCore*
+// suite) and emits one machine-readable JSON document — name, ns/op,
+// allocs/op, bytes/op per benchmark — for the repository's BENCH_*.json
+// perf trajectory.
 package main
 
 import (
@@ -24,13 +29,28 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use CI-scale datasets (~4x smaller)")
 	seed := flag.Int64("seed", 0, "dataset seed (0 = default)")
+	jsonOut := flag.Bool("json", false,
+		"run the core micro-benchmarks and emit JSON (name, ns/op, allocs/op) instead of paper tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcsbench [-quick] [-seed N] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: dcsbench [-quick] [-seed N] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       dcsbench -json [-quick]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments: table2 table4 table5 table6 table7 fig2 table8 table9\n")
 		fmt.Fprintf(os.Stderr, "             table10 table11 table12 table13 fig3 table14 all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "dcsbench: -json takes no experiment arguments")
+			os.Exit(2)
+		}
+		if err := runCoreJSON(os.Stdout, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := &bench.Suite{Quick: *quick, Seed: *seed}
 	args := flag.Args()

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-cache 64]
+//	     [-timeout 0] [-maxqueue 0] [-jobs 256]
 //	     [-load name=graph.tsv ...]
 //
 // Each -load flag (repeatable) preloads a TSV edge list (see internal/dataio
@@ -13,6 +14,11 @@
 //
 //	dcsd -load old=dblp-g1.tsv -load new=dblp-g2.tsv
 //	curl 'localhost:8080/v1/topics?g1=old&g2=new&k=5'
+//
+// -timeout bounds each solve: an expired request returns its best-so-far
+// partial result with "interrupted": true. Long solves are better submitted
+// through the async job API (POST /v1/jobs, GET/DELETE /v1/jobs/{id}), whose
+// retention is bounded by -jobs.
 package main
 
 import (
@@ -37,6 +43,11 @@ func main() {
 		"worker goroutines per affinity job (0 = sequential, -1 = GOMAXPROCS)")
 	cache := flag.Int("cache", 64,
 		"difference-graph LRU entries (0 disables caching)")
+	timeout := flag.Duration("timeout", 0,
+		"per-solve compute budget, e.g. 30s (0 = unlimited; expired solves return partial results)")
+	maxQueue := flag.Int("maxqueue", 0,
+		"max requests waiting for a worker slot / active jobs (0 = unlimited)")
+	jobs := flag.Int("jobs", 256, "finished async jobs retained for polling")
 	var loads []string
 	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -60,7 +71,17 @@ func main() {
 	if cacheSize <= 0 {
 		cacheSize = -1 // Config convention: 0 means "default", negative disables
 	}
-	srv := serve.New(serve.Config{PoolSize: *pool, Parallelism: par, DiffCacheSize: cacheSize})
+	// No srv.Close() here: main only ever exits through log.Fatal (which
+	// skips defers) and process death reclaims everything; Close exists for
+	// embedders that outlive their Server.
+	srv := serve.New(serve.Config{
+		PoolSize:      *pool,
+		Parallelism:   par,
+		DiffCacheSize: cacheSize,
+		SolveTimeout:  *timeout,
+		MaxQueue:      *maxQueue,
+		JobRetention:  *jobs,
+	})
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
 		g, err := dataio.ReadGraphFile(path)
@@ -71,8 +92,8 @@ func main() {
 		log.Printf("loaded snapshot %q: n=%d m=%d", info.Name, info.N, info.M)
 	}
 
-	log.Printf("listening on %s (pool=%d, parallelism=%d, snapshots=%d)",
-		*addr, *pool, par, srv.Store().Len())
+	log.Printf("listening on %s (pool=%d, parallelism=%d, timeout=%v, snapshots=%d)",
+		*addr, *pool, par, *timeout, srv.Store().Len())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

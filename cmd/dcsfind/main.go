@@ -4,13 +4,15 @@
 // Usage:
 //
 //	dcsfind -g1 old.tsv -g2 new.tsv [-measure ad|ga|weight] [-alpha 1]
-//	        [-labels labels.txt] [-top K]
+//	        [-labels labels.txt] [-top K] [-timeout 0]
 //
 // With -measure ga and -top K > 1, it prints the top-K contrast cliques
-// instead of just the best one.
+// instead of just the best one. -timeout bounds the solve: when it expires
+// the best-so-far partial result is printed, marked "(interrupted)".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,8 @@ func main() {
 	labelsPath := flag.String("labels", "", "optional label file (one label per vertex line)")
 	top := flag.Int("top", 1, "with -measure ga: report the top K contrast cliques")
 	format := flag.String("format", "tsv", "input format: tsv (native), snap, mm (MatrixMarket)")
+	timeout := flag.Duration("timeout", 0,
+		"solve budget, e.g. 30s (0 = unlimited; on expiry the partial result is printed)")
 	flag.Parse()
 	if *g1Path == "" || *g2Path == "" {
 		flag.Usage()
@@ -63,17 +67,34 @@ func main() {
 	st := gd.ComputeStats()
 	fmt.Printf("difference graph: n=%d m+=%d m-=%d\n", st.N, st.MPos, st.MNeg)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// mark flags an interrupted (deadline-cut) result in the header line.
+	mark := func(interrupted bool) string {
+		if interrupted {
+			return " (interrupted)"
+		}
+		return ""
+	}
+
 	switch *measure {
 	case "ad":
-		res := dcs.FindAverageDegreeDCSOn(gd)
-		fmt.Printf("DCS (average degree): |S|=%d density=%.6g ratio=%.3g clique=%v\n",
-			len(res.S), res.Density, res.Ratio, res.PositiveClique)
+		res := dcs.FindAverageDegreeDCSOnCtx(ctx, gd)
+		fmt.Printf("DCS (average degree): |S|=%d density=%.6g ratio=%.3g clique=%v%s\n",
+			len(res.S), res.Density, res.Ratio, res.PositiveClique, mark(res.Interrupted))
 		for _, v := range res.S {
 			fmt.Printf("  %s\n", name(v))
 		}
 	case "ga":
 		if *top > 1 {
-			cs := dcs.TopContrastCliquesOn(gd, nil)
+			cs, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, nil)
+			if interrupted {
+				fmt.Println("(interrupted: partial clique list)")
+			}
 			for i, c := range cs {
 				if i >= *top {
 					break
@@ -86,16 +107,16 @@ func main() {
 			}
 			return
 		}
-		res := dcs.FindGraphAffinityDCSOn(gd, nil)
-		fmt.Printf("DCS (graph affinity): |S|=%d f=%.6g clique=%v\n",
-			len(res.S), res.Affinity, res.PositiveClique)
+		res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, nil)
+		fmt.Printf("DCS (graph affinity): |S|=%d f=%.6g clique=%v%s\n",
+			len(res.S), res.Affinity, res.PositiveClique, mark(res.Interrupted))
 		for _, v := range res.S {
 			fmt.Printf("  %s (%.4g)\n", name(v), res.X.Get(v))
 		}
 	case "weight":
-		res := dcs.FindMaxTotalWeightSubgraphOn(gd)
-		fmt.Printf("max total weight subgraph: |S|=%d W=%.6g density=%.6g\n",
-			len(res.S), res.TotalWeight, res.Density)
+		res := dcs.FindMaxTotalWeightSubgraphOnCtx(ctx, gd)
+		fmt.Printf("max total weight subgraph: |S|=%d W=%.6g density=%.6g%s\n",
+			len(res.S), res.TotalWeight, res.Density, mark(res.Interrupted))
 		for _, v := range res.S {
 			fmt.Printf("  %s\n", name(v))
 		}

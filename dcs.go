@@ -31,9 +31,24 @@
 // To find subgraphs whose density *dropped*, swap the arguments. To mine a
 // pre-built signed graph (e.g. expected-vs-observed weights), use the *On
 // variants directly.
+//
+// # Cancellation
+//
+// Both DCS problems are NP-hard, so no caller can predict how long one solve
+// will run. Every entry point therefore has a *Ctx variant taking a
+// context.Context first (FindGraphAffinityDCSCtx, TopKAverageDegreeDCSCtx,
+// ...): when the context is cancelled or its deadline expires, the solver
+// unwinds within one checkpoint interval (~1024 inner-loop iterations,
+// microseconds in practice) and returns its best-so-far partial result with
+// the Interrupted field set — still a valid subgraph with exact metrics, just
+// without the completed run's guarantees. The context-free names delegate to
+// context.Background() and never interrupt; the checkpoints then cost under
+// 2% on the solver hot loops.
 package dcs
 
 import (
+	"context"
+
 	"github.com/dcslib/dcs/internal/core"
 	"github.com/dcslib/dcs/internal/egoscan"
 	"github.com/dcslib/dcs/internal/graph"
@@ -91,13 +106,26 @@ type ContrastClique = core.Clique
 // DCSGreedy on the difference graph G2 − G1. For subgraphs whose density
 // *decreased*, call FindAverageDegreeDCS(g2, g1).
 func FindAverageDegreeDCS(g1, g2 *Graph) AverageDegreeResult {
-	return core.DCSGreedy(graph.Difference(g1, g2))
+	return FindAverageDegreeDCSCtx(context.Background(), g1, g2)
+}
+
+// FindAverageDegreeDCSCtx is FindAverageDegreeDCS with cooperative
+// cancellation: when ctx is done the solver returns its best-so-far subgraph
+// tagged Interrupted (see the package documentation).
+func FindAverageDegreeDCSCtx(ctx context.Context, g1, g2 *Graph) AverageDegreeResult {
+	return core.DCSGreedyCtx(ctx, graph.Difference(g1, g2))
 }
 
 // FindAverageDegreeDCSOn runs DCSGreedy directly on a pre-built (signed)
 // difference graph.
 func FindAverageDegreeDCSOn(gd *Graph) AverageDegreeResult {
-	return core.DCSGreedy(gd)
+	return FindAverageDegreeDCSOnCtx(context.Background(), gd)
+}
+
+// FindAverageDegreeDCSOnCtx is FindAverageDegreeDCSOn with cooperative
+// cancellation.
+func FindAverageDegreeDCSOnCtx(ctx context.Context, gd *Graph) AverageDegreeResult {
+	return core.DCSGreedyCtx(ctx, gd)
 }
 
 // FindGraphAffinityDCS finds the embedding maximizing x'A2x − x'A1x using
@@ -105,17 +133,30 @@ func FindAverageDegreeDCSOn(gd *Graph) AverageDegreeResult {
 // positive clique of GD (every pair inside strengthened its connection from
 // G1 to G2). Pass nil options for the paper's defaults.
 func FindGraphAffinityDCS(g1, g2 *Graph, opt *Options) GraphAffinityResult {
-	return FindGraphAffinityDCSOn(graph.Difference(g1, g2), opt)
+	return FindGraphAffinityDCSCtx(context.Background(), g1, g2, opt)
+}
+
+// FindGraphAffinityDCSCtx is FindGraphAffinityDCS with cooperative
+// cancellation: when ctx is done the solver returns the best embedding found
+// so far tagged Interrupted (see the package documentation).
+func FindGraphAffinityDCSCtx(ctx context.Context, g1, g2 *Graph, opt *Options) GraphAffinityResult {
+	return FindGraphAffinityDCSOnCtx(ctx, graph.Difference(g1, g2), opt)
 }
 
 // FindGraphAffinityDCSOn runs NewSEA directly on a pre-built difference
 // graph.
 func FindGraphAffinityDCSOn(gd *Graph, opt *Options) GraphAffinityResult {
+	return FindGraphAffinityDCSOnCtx(context.Background(), gd, opt)
+}
+
+// FindGraphAffinityDCSOnCtx is FindGraphAffinityDCSOn with cooperative
+// cancellation.
+func FindGraphAffinityDCSOnCtx(ctx context.Context, gd *Graph, opt *Options) GraphAffinityResult {
 	var o Options
 	if opt != nil {
 		o = *opt
 	}
-	return core.NewSEA(gd, o)
+	return core.NewSEACtx(ctx, gd, o)
 }
 
 // TopContrastCliques mines many density-contrast cliques at once: it runs the
@@ -124,16 +165,31 @@ func FindGraphAffinityDCSOn(gd *Graph, opt *Options) GraphAffinityResult {
 // and returns them sorted by decreasing affinity difference. This is the
 // procedure behind the paper's top-k emerging/disappearing topic lists.
 func TopContrastCliques(g1, g2 *Graph, opt *Options) []ContrastClique {
-	return TopContrastCliquesOn(graph.Difference(g1, g2), opt)
+	cs, _ := TopContrastCliquesCtx(context.Background(), g1, g2, opt)
+	return cs
+}
+
+// TopContrastCliquesCtx is TopContrastCliques with cooperative cancellation:
+// when ctx is done the remaining initializations are skipped and the cliques
+// already found are returned, with interrupted reporting the early stop.
+func TopContrastCliquesCtx(ctx context.Context, g1, g2 *Graph, opt *Options) (cliques []ContrastClique, interrupted bool) {
+	return TopContrastCliquesOnCtx(ctx, graph.Difference(g1, g2), opt)
 }
 
 // TopContrastCliquesOn is TopContrastCliques on a pre-built difference graph.
 func TopContrastCliquesOn(gd *Graph, opt *Options) []ContrastClique {
+	cs, _ := TopContrastCliquesOnCtx(context.Background(), gd, opt)
+	return cs
+}
+
+// TopContrastCliquesOnCtx is TopContrastCliquesOn with cooperative
+// cancellation.
+func TopContrastCliquesOnCtx(ctx context.Context, gd *Graph, opt *Options) (cliques []ContrastClique, interrupted bool) {
 	var o Options
 	if opt != nil {
 		o = *opt
 	}
-	return core.CollectCliques(gd, o)
+	return core.CollectCliquesCtx(ctx, gd, o)
 }
 
 // MaxAffinitySubgraph maximizes xᵀAx over the simplex on a *single*
@@ -143,6 +199,12 @@ func TopContrastCliquesOn(gd *Graph, opt *Options) []ContrastClique {
 // empty first graph.
 func MaxAffinitySubgraph(g *Graph, opt *Options) GraphAffinityResult {
 	return FindGraphAffinityDCSOn(g, opt)
+}
+
+// MaxAffinitySubgraphCtx is MaxAffinitySubgraph with cooperative
+// cancellation.
+func MaxAffinitySubgraphCtx(ctx context.Context, g *Graph, opt *Options) GraphAffinityResult {
+	return FindGraphAffinityDCSOnCtx(ctx, g, opt)
 }
 
 // ValidateAverageDegreeResult re-derives every field of an
@@ -168,7 +230,14 @@ type RatioContrastResult = core.RatioResult
 // degeneracy that makes the raw density-ratio objective ill-posed,
 // Section III-C).
 func FindMaxRatioContrast(g1, g2 *Graph) RatioContrastResult {
-	return core.MaxRatioContrast(g1, g2, 0)
+	return FindMaxRatioContrastCtx(context.Background(), g1, g2)
+}
+
+// FindMaxRatioContrastCtx is FindMaxRatioContrast with cooperative
+// cancellation: the binary search stops after the probe in flight and returns
+// the best certified witness so far, tagged Interrupted.
+func FindMaxRatioContrastCtx(ctx context.Context, g1, g2 *Graph) RatioContrastResult {
+	return core.MaxRatioContrastCtx(ctx, g1, g2, 0)
 }
 
 // TopKAverageDegreeDCS mines up to k vertex-disjoint density contrast
@@ -177,30 +246,60 @@ func FindMaxRatioContrast(g1, g2 *Graph) RatioContrastResult {
 // paper toward its stated future-work direction of mining multiple
 // subgraphs with large density difference.
 func TopKAverageDegreeDCS(g1, g2 *Graph, k int) []AverageDegreeResult {
-	return core.TopKAverageDegree(graph.Difference(g1, g2), k)
+	rs, _ := TopKAverageDegreeDCSCtx(context.Background(), g1, g2, k)
+	return rs
+}
+
+// TopKAverageDegreeDCSCtx is TopKAverageDegreeDCS with cooperative
+// cancellation: when ctx is done the subgraphs already mined are returned and
+// interrupted reports the early stop.
+func TopKAverageDegreeDCSCtx(ctx context.Context, g1, g2 *Graph, k int) (results []AverageDegreeResult, interrupted bool) {
+	return core.TopKAverageDegreeCtx(ctx, graph.Difference(g1, g2), k)
 }
 
 // TopKAverageDegreeDCSOn is TopKAverageDegreeDCS on a pre-built difference
 // graph.
 func TopKAverageDegreeDCSOn(gd *Graph, k int) []AverageDegreeResult {
-	return core.TopKAverageDegree(gd, k)
+	rs, _ := TopKAverageDegreeDCSOnCtx(context.Background(), gd, k)
+	return rs
+}
+
+// TopKAverageDegreeDCSOnCtx is TopKAverageDegreeDCSOn with cooperative
+// cancellation.
+func TopKAverageDegreeDCSOnCtx(ctx context.Context, gd *Graph, k int) (results []AverageDegreeResult, interrupted bool) {
+	return core.TopKAverageDegreeCtx(ctx, gd, k)
 }
 
 // TopKGraphAffinityDCS mines up to k vertex-disjoint positive cliques with
 // the largest affinity differences (disjoint communities rather than the
 // possibly-overlapping topics of TopContrastCliques).
 func TopKGraphAffinityDCS(g1, g2 *Graph, k int, opt *Options) []ContrastClique {
-	return TopKGraphAffinityDCSOn(graph.Difference(g1, g2), k, opt)
+	cs, _ := TopKGraphAffinityDCSCtx(context.Background(), g1, g2, k, opt)
+	return cs
+}
+
+// TopKGraphAffinityDCSCtx is TopKGraphAffinityDCS with cooperative
+// cancellation: interrupted reports that the underlying clique collection
+// stopped early, so the selection ran over a partial candidate pool.
+func TopKGraphAffinityDCSCtx(ctx context.Context, g1, g2 *Graph, k int, opt *Options) (cliques []ContrastClique, interrupted bool) {
+	return TopKGraphAffinityDCSOnCtx(ctx, graph.Difference(g1, g2), k, opt)
 }
 
 // TopKGraphAffinityDCSOn is TopKGraphAffinityDCS on a pre-built difference
 // graph.
 func TopKGraphAffinityDCSOn(gd *Graph, k int, opt *Options) []ContrastClique {
+	cs, _ := TopKGraphAffinityDCSOnCtx(context.Background(), gd, k, opt)
+	return cs
+}
+
+// TopKGraphAffinityDCSOnCtx is TopKGraphAffinityDCSOn with cooperative
+// cancellation.
+func TopKGraphAffinityDCSOnCtx(ctx context.Context, gd *Graph, k int, opt *Options) (cliques []ContrastClique, interrupted bool) {
 	var o Options
 	if opt != nil {
 		o = *opt
 	}
-	return core.TopKGraphAffinity(gd, k, o)
+	return core.TopKGraphAffinityCtx(ctx, gd, k, o)
 }
 
 // MaxTotalWeightResult is a subgraph maximizing total weight difference
@@ -213,10 +312,23 @@ type MaxTotalWeightResult = egoscan.Result
 // (Section VI-E's guidance: graph affinity for small interpretable DCS,
 // average degree for medium, total weight for the largest).
 func FindMaxTotalWeightSubgraph(g1, g2 *Graph) MaxTotalWeightResult {
-	return egoscan.Scan(graph.Difference(g1, g2), egoscan.Options{})
+	return FindMaxTotalWeightSubgraphCtx(context.Background(), g1, g2)
+}
+
+// FindMaxTotalWeightSubgraphCtx is FindMaxTotalWeightSubgraph with
+// cooperative cancellation: when ctx is done the scan stops and the best
+// candidate found so far is returned, tagged Interrupted.
+func FindMaxTotalWeightSubgraphCtx(ctx context.Context, g1, g2 *Graph) MaxTotalWeightResult {
+	return egoscan.ScanCtx(ctx, graph.Difference(g1, g2), egoscan.Options{})
 }
 
 // FindMaxTotalWeightSubgraphOn is the pre-built-difference-graph variant.
 func FindMaxTotalWeightSubgraphOn(gd *Graph) MaxTotalWeightResult {
-	return egoscan.Scan(gd, egoscan.Options{})
+	return FindMaxTotalWeightSubgraphOnCtx(context.Background(), gd)
+}
+
+// FindMaxTotalWeightSubgraphOnCtx is FindMaxTotalWeightSubgraphOn with
+// cooperative cancellation.
+func FindMaxTotalWeightSubgraphOnCtx(ctx context.Context, gd *Graph) MaxTotalWeightResult {
+	return egoscan.ScanCtx(ctx, gd, egoscan.Options{})
 }

@@ -74,7 +74,7 @@ func (s *Suite) Fig2(w io.Writer) []Fig2Point {
 		tSEA := timed(func() { rSEA = core.SEARefineFull(p.GD, s.Opt) })
 		pt := Fig2Point{
 			DensityPos: st.Density,
-			SpeedUp:    tSEA.Seconds() / maxFloat(tCD.Seconds(), 1e-9),
+			SpeedUp:    tSEA.Seconds() / max(tCD.Seconds(), 1e-9),
 			ErrorRate:  float64(rSEA.Stats.ExpansionErrors) / float64(p.GD.N()),
 		}
 		_ = rCD
@@ -85,11 +85,4 @@ func (s *Suite) Fig2(w io.Writer) []Fig2Point {
 		}
 	}
 	return out
-}
-
-func maxFloat(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

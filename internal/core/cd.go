@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -123,12 +124,17 @@ func (st *cdState) step(i, j int) bool {
 }
 
 // descend runs 2-coordinate descent until the local KKT conditions on S hold
-// at precision eps (Eq. 11: max ∇ − min ∇ ≤ eps) or maxIter iterations have
-// been spent. It returns the number of iterations performed. The objective
-// xᵀDx never decreases across the call.
-func (st *cdState) descend(eps float64, maxIter int) int {
+// at precision eps (Eq. 11: max ∇ − min ∇ ≤ eps), maxIter iterations have
+// been spent, or rs reports cancellation (x then stays at the last completed
+// step — still on the simplex, just short of a KKT point). It returns the
+// number of iterations performed. The objective xᵀDx never decreases across
+// the call.
+func (st *cdState) descend(eps float64, maxIter int, rs *runstate.State) int {
 	iters := 0
 	for iters < maxIter {
+		if rs.Checkpoint() {
+			break
+		}
 		i, j, gap, ok := st.pick()
 		if !ok || gap <= eps {
 			break
@@ -150,10 +156,10 @@ func (st *cdState) descend(eps float64, maxIter int) int {
 // plain CSR graph but an allocation per call on a masked view — so a view
 // argument is flattened up front (Compact is a no-op for plain graphs; every
 // hot caller already passes one).
-func coordinateDescent(g *graph.Graph, x *simplex.Vector, S []int, eps float64, maxIter int) int {
+func coordinateDescent(g *graph.Graph, x *simplex.Vector, S []int, eps float64, maxIter int, rs *runstate.State) int {
 	if len(S) <= 1 {
 		return 0
 	}
 	st := newCDState(g.Compact(), x, S)
-	return st.descend(eps, maxIter)
+	return st.descend(eps, maxIter, rs)
 }

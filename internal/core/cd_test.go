@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -128,10 +129,10 @@ func TestDescendDegenerate(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	g := randomSignedGraph(rng, 4, 0.5, 3)
 	x := simplex.Indicator(4, 1)
-	if it := coordinateDescent(g, x, []int{1}, 1e-9, 1000); it != 0 {
+	if it := coordinateDescent(g, x, []int{1}, 1e-9, 1000, runstate.New(nil)); it != 0 {
 		t.Fatalf("single-vertex set should do nothing, did %d iters", it)
 	}
-	if it := coordinateDescent(g, x, nil, 1e-9, 1000); it != 0 {
+	if it := coordinateDescent(g, x, nil, 1e-9, 1000, runstate.New(nil)); it != 0 {
 		t.Fatalf("empty set should do nothing, did %d iters", it)
 	}
 	if x.Get(1) != 1 {

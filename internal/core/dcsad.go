@@ -11,10 +11,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/dcslib/dcs/internal/densest"
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 // ADResult is the outcome of a DCSAD computation.
@@ -26,6 +28,11 @@ type ADResult struct {
 	Ratio          float64 // data-dependent approximation ratio β = 2ρ_{D+}(S2)/ρ_D(S)
 	PositiveClique bool    // is GD(S) a positive clique?
 	Connected      bool    // is GD(S) connected? (always true for DCSGreedy)
+	// Interrupted marks a cancelled run: S is the best subgraph found before
+	// the cancellation. All metrics above still describe S exactly; only the
+	// approximation certificate is lost (Ratio is then 0, since the Theorem 2
+	// bound needs a completed greedy pass over GD+).
+	Interrupted bool
 }
 
 func newADResult(gd *graph.Graph, S []int, ratio float64) ADResult {
@@ -57,6 +64,17 @@ func newADResult(gd *graph.Graph, S []int, ratio float64) ADResult {
 //
 // Total cost is O((m+n) log n).
 func DCSGreedy(gd *graph.Graph) ADResult {
+	return dcsGreedyRS(gd, runstate.New(nil))
+}
+
+// DCSGreedyCtx is DCSGreedy with cooperative cancellation: when ctx is done
+// the peeling stops within one checkpoint interval and the best subgraph seen
+// so far is returned, tagged Interrupted (with no approximation certificate).
+func DCSGreedyCtx(ctx context.Context, gd *graph.Graph) ADResult {
+	return dcsGreedyRS(gd, runstate.New(ctx))
+}
+
+func dcsGreedyRS(gd *graph.Graph, rs *runstate.State) ADResult {
 	maxEdge, ok := gd.MaxEdge()
 	if !ok || maxEdge.W <= 0 {
 		// No positive edge: any single vertex is optimal with density 0.
@@ -70,22 +88,29 @@ func DCSGreedy(gd *graph.Graph) ADResult {
 	gdp := gd.PositivePartCompact()
 
 	S := []int{maxEdge.U, maxEdge.V}
-	s1 := densest.Greedy(gd)
-	s2 := densest.Greedy(gdp)
+	s1 := densest.GreedyRS(gd, rs)
+	s2 := densest.GreedyRS(gdp, rs)
 
 	best := S
 	bestRho := gd.AverageDegreeOf(S)
-	if rho := gd.AverageDegreeOf(s1.S); rho > bestRho {
+	if rho := gd.AverageDegreeOf(s1.S); len(s1.S) > 0 && rho > bestRho {
 		best, bestRho = s1.S, rho
 	}
-	if rho := gd.AverageDegreeOf(s2.S); rho > bestRho {
+	if rho := gd.AverageDegreeOf(s2.S); len(s2.S) > 0 && rho > bestRho {
 		best, bestRho = s2.S, rho
 	}
 	if !gd.IsConnected(best) {
 		best, bestRho = gd.BestComponent(best)
 	}
 	ratio := 2 * s2.Density / bestRho // ρ_{D+}(S2) is s2's density in GD+
-	return newADResult(gd, best, ratio)
+	if rs.Interrupted() {
+		// A truncated greedy pass voids the Theorem 2 certificate: s2 may
+		// stop short of the density a full peel would certify against.
+		ratio = 0
+	}
+	res := newADResult(gd, best, ratio)
+	res.Interrupted = rs.Interrupted()
+	return res
 }
 
 // GreedyGDOnly runs plain greedy peeling (Algorithm 1) on GD alone and

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dcslib/dcs/internal/clique"
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -411,7 +412,7 @@ func TestCoordinateDescentMonotone(t *testing.T) {
 		}
 		x.Normalize()
 		before := simplex.Affinity(gd, x)
-		coordinateDescent(gd, x, S, 1e-9, 100000)
+		coordinateDescent(gd, x, S, 1e-9, 100000, runstate.New(nil))
 		after := simplex.Affinity(gd, x)
 		if after < before-1e-9 {
 			return false
@@ -497,7 +498,7 @@ func TestReplicatorMonotone(t *testing.T) {
 		}
 		x.Normalize()
 		before := simplex.Affinity(g, x)
-		replicatorShrink(g, x, S, GAOptions{}.withDefaults())
+		replicatorShrink(g, x, S, GAOptions{}.withDefaults(), runstate.New(nil))
 		after := simplex.Affinity(g, x)
 		return after >= before-1e-9 && math.Abs(x.Sum()-1) < 1e-6
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"github.com/dcslib/dcs/internal/cores"
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -18,7 +20,11 @@ type GAResult struct {
 	EdgeDensity    float64         // W_D(Sx)/|Sx|², edge-density difference
 	TotalWeight    float64         // W_D(Sx), total edge weight difference
 	PositiveClique bool            // is GD(Sx) a positive clique? (true after Refine)
-	Stats          GAStats
+	// Interrupted marks a cancelled run: the embedding is the best one found
+	// before the cancellation (possibly short of a KKT point or a positive
+	// clique — the flags above always describe the actual result).
+	Interrupted bool
+	Stats       GAStats
 }
 
 func newGAResult(gd *graph.Graph, x *simplex.Vector, st GAStats) GAResult {
@@ -71,16 +77,16 @@ func initBounds(gdp *graph.Graph) []float64 {
 
 // runInit performs one initialization of the DCSGA pipeline: x = e_u, SEACD
 // (or SEA) to a KKT point on GD+, then Refinement to a positive clique.
-func runInit(gdp *graph.Graph, u int, useReplicator bool, opt GAOptions) (*simplex.Vector, GAStats) {
+func runInit(gdp *graph.Graph, u int, useReplicator bool, opt GAOptions, rs *runstate.State) (*simplex.Vector, GAStats) {
 	x := simplex.Indicator(gdp.N(), u)
 	var st GAStats
 	if useReplicator {
-		st = SEA(gdp, x, opt)
+		st = seaRS(gdp, x, opt, rs)
 	} else {
-		st = SEACD(gdp, x, opt)
+		st = seacdRS(gdp, x, opt, rs)
 	}
-	st.RefineSteps += Refine(gdp, x, opt)
-	pruneTiny(gdp, x, opt)
+	st.RefineSteps += refineRS(gdp, x, opt, rs)
+	pruneTiny(gdp, x, opt, rs)
 	return x, st
 }
 
@@ -92,6 +98,17 @@ func runInit(gdp *graph.Graph, u int, useReplicator bool, opt GAOptions) (*simpl
 // the full difference graph gd (equal by Theorem 5: the support is a positive
 // clique).
 func NewSEA(gd *graph.Graph, opt GAOptions) GAResult {
+	return newSEARS(gd, opt, runstate.New(nil))
+}
+
+// NewSEACtx is NewSEA with cooperative cancellation: when ctx is done the
+// solver stops within one checkpoint interval and returns the best embedding
+// found so far, tagged Interrupted.
+func NewSEACtx(ctx context.Context, gd *graph.Graph, opt GAOptions) GAResult {
+	return newSEARS(gd, opt, runstate.New(ctx))
+}
+
+func newSEARS(gd *graph.Graph, opt GAOptions, rs *runstate.State) GAResult {
 	opt = opt.withDefaults()
 	// Materialize GD+ once (single pass): every initialization below runs
 	// thousands of coordinate-descent sweeps over it, which a flattened CSR
@@ -123,13 +140,26 @@ func NewSEA(gd *graph.Graph, opt GAOptions) GAResult {
 		if mu[u] <= bestF {
 			break
 		}
-		x, st := runInit(gdp, u, false, opt)
+		if rs.Cancelled() {
+			break
+		}
+		x, st := runInit(gdp, u, false, opt, rs)
 		stats.add(st)
-		if f := simplex.Affinity(gdp, x); f > bestF {
+		f := simplex.Affinity(gdp, x)
+		if rs.Interrupted() && !gd.IsPositiveClique(x.Support()) {
+			// Init cut mid-Refine: the support is not a positive clique, so
+			// the gdp affinity (negative edges excluded) overstates the true
+			// objective. Rank the leftover by its honest xᵀDx so it cannot
+			// displace a completed clique it does not actually beat.
+			f = simplex.Affinity(gd, x)
+		}
+		if f > bestF {
 			best, bestF = x, f
 		}
 	}
-	return newGAResult(gd, best, stats)
+	res := newGAResult(gd, best, stats)
+	res.Interrupted = rs.Interrupted()
+	return res
 }
 
 // SEACDRefineFull is the SEACD+Refine baseline of Section VI: one
@@ -146,6 +176,8 @@ func SEARefineFull(gd *graph.Graph, opt GAOptions) GAResult {
 	return fullInit(gd, true, opt)
 }
 
+// fullInit drives the uncancellable full-initialization baselines; the
+// cancellable pipelines are NewSEACtx and CollectCliquesCtx.
 func fullInit(gd *graph.Graph, useReplicator bool, opt GAOptions) GAResult {
 	opt = opt.withDefaults()
 	gdp := gd.PositivePartCompact() // see NewSEA
@@ -167,7 +199,7 @@ func fullInit(gd *graph.Graph, useReplicator bool, opt GAOptions) GAResult {
 			starts = append(starts, u)
 		}
 	}
-	results := forEachInit(gdp, starts, useReplicator, opt)
+	results, _ := forEachInit(gdp, starts, useReplicator, opt, runstate.New(nil))
 	for _, r := range results {
 		stats.add(r.st)
 		// Deterministic winner: highest affinity, ties by start vertex order
@@ -186,28 +218,43 @@ type initResult struct {
 }
 
 // forEachInit runs the init pipeline from every start vertex, sequentially or
-// on opt.Parallelism workers, returning results indexed like starts.
-func forEachInit(gdp *graph.Graph, starts []int, useReplicator bool, opt GAOptions) []initResult {
+// on opt.Parallelism workers, returning results indexed like starts plus
+// whether any of the work was actually cut short. Each worker forks its own
+// run state off rs (a State is single-goroutine) and additionally polls
+// between items, so after cancellation the remaining starts are skipped
+// (their results stay nil) rather than each burning a full checkpoint
+// interval. The interrupted flag aggregates the workers' latches — precise:
+// a cancellation that lands only after every init completed reports false.
+func forEachInit(gdp *graph.Graph, starts []int, useReplicator bool, opt GAOptions, rs *runstate.State) ([]initResult, bool) {
 	results := make([]initResult, len(starts))
 	workers := opt.Parallelism
 	if workers <= 1 || len(starts) < 2 {
 		for i, u := range starts {
-			x, st := runInit(gdp, u, useReplicator, opt)
+			if rs.Cancelled() {
+				break
+			}
+			x, st := runInit(gdp, u, useReplicator, opt, rs)
 			results[i] = initResult{x: x, st: st}
 		}
-		return results
+		return results, rs.Interrupted()
 	}
 	if workers > len(starts) {
 		workers = len(starts)
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
+	states := make([]*runstate.State, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		wrs := rs.Fork()
+		states[w] = wrs
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				x, st := runInit(gdp, starts[i], useReplicator, opt)
+				if wrs.Cancelled() {
+					continue // keep draining so the feeder never blocks
+				}
+				x, st := runInit(gdp, starts[i], useReplicator, opt, wrs)
 				results[i] = initResult{x: x, st: st}
 			}
 		}()
@@ -217,7 +264,12 @@ func forEachInit(gdp *graph.Graph, starts []int, useReplicator bool, opt GAOptio
 	}
 	close(next)
 	wg.Wait()
-	return results
+	interrupted := rs.Interrupted()
+	for _, wrs := range states {
+		// Safe after the join: no worker touches its state anymore.
+		interrupted = interrupted || wrs.Interrupted()
+	}
+	return results, interrupted
 }
 
 // Clique is a positive clique found by a DCSGA initialization, with its
@@ -233,9 +285,10 @@ type Clique struct {
 // KKT point on S. For a positive clique this is the affinity-maximizing
 // weighting of its members (the per-keyword weights of Table V).
 func CliqueEmbedding(gd *graph.Graph, S []int) *simplex.Vector {
+	rs := runstate.New(nil)
 	x := simplex.Uniform(gd.N(), S)
-	coordinateDescent(gd, x, S, 1e-9, 100000)
-	pruneTiny(gd, x, GAOptions{})
+	coordinateDescent(gd, x, S, 1e-9, 100000, rs)
+	pruneTiny(gd, x, GAOptions{}, rs)
 	return x
 }
 
@@ -245,6 +298,18 @@ func CliqueEmbedding(gd *graph.Graph, S []int) *simplex.Vector {
 // Table V (top-k topics) and Fig. 3 (clique-count histograms). Results are
 // sorted by decreasing affinity, ties by support.
 func CollectCliques(gd *graph.Graph, opt GAOptions) []Clique {
+	out, _ := collectCliquesRS(gd, opt, runstate.New(nil))
+	return out
+}
+
+// CollectCliquesCtx is CollectCliques with cooperative cancellation: when ctx
+// is done the remaining initializations are skipped and the cliques already
+// found are returned, with interrupted reporting the early stop.
+func CollectCliquesCtx(ctx context.Context, gd *graph.Graph, opt GAOptions) (cliques []Clique, interrupted bool) {
+	return collectCliquesRS(gd, opt, runstate.New(ctx))
+}
+
+func collectCliquesRS(gd *graph.Graph, opt GAOptions, rs *runstate.State) ([]Clique, bool) {
 	opt = opt.withDefaults()
 	gdp := gd.PositivePartCompact() // see NewSEA
 	n := gd.N()
@@ -254,12 +319,23 @@ func CollectCliques(gd *graph.Graph, opt GAOptions) []Clique {
 			starts = append(starts, u)
 		}
 	}
-	results := forEachInit(gdp, starts, false, opt)
+	results, interrupted := forEachInit(gdp, starts, false, opt, rs)
 	seen := make(map[string]bool)
 	var out []Clique
 	for _, r := range results {
+		if r.x == nil {
+			continue // initialization skipped after cancellation
+		}
 		S := r.x.Support()
 		if len(S) == 0 {
+			continue
+		}
+		// On an interrupted run, initializations cut mid-Refine may carry
+		// non-clique supports, for which the gdp affinity below would
+		// overstate the true xᵀDx (Theorem 5's equality only holds for
+		// positive cliques) — those are dropped, keeping the contract that
+		// only completed cliques are returned.
+		if interrupted && !gd.IsPositiveClique(S) {
 			continue
 		}
 		key := supportKey(S)
@@ -276,7 +352,7 @@ func CollectCliques(gd *graph.Graph, opt GAOptions) []Clique {
 		}
 		return supportKey(out[i].S) < supportKey(out[j].S)
 	})
-	return out
+	return out, interrupted
 }
 
 func supportKey(S []int) string {

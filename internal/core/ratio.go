@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 // RatioResult is the outcome of the α-quasi-contrast search.
@@ -17,6 +19,10 @@ type RatioResult struct {
 	S []int
 	// Density2, Density1 are S's densities in the two graphs.
 	Density2, Density1 float64
+	// Interrupted marks a cancelled run: the binary search stopped early, so
+	// Alpha is a certified lower bound reached before the cancellation rather
+	// than the search's full-precision answer.
+	Interrupted bool
 }
 
 // MaxRatioContrast searches for the largest α such that some subgraph
@@ -31,6 +37,17 @@ type RatioResult struct {
 // derived from the heaviest G2 edge against the lightest G1 edge. Zero or
 // negative iters selects 60 rounds.
 func MaxRatioContrast(g1, g2 *graph.Graph, iters int) RatioResult {
+	return maxRatioContrastRS(g1, g2, iters, runstate.New(nil))
+}
+
+// MaxRatioContrastCtx is MaxRatioContrast with cooperative cancellation: the
+// binary search stops after the probe in flight and returns the best
+// certified witness so far, tagged Interrupted.
+func MaxRatioContrastCtx(ctx context.Context, g1, g2 *graph.Graph, iters int) RatioResult {
+	return maxRatioContrastRS(g1, g2, iters, runstate.New(ctx))
+}
+
+func maxRatioContrastRS(g1, g2 *graph.Graph, iters int, rs *runstate.State) RatioResult {
 	if iters <= 0 {
 		iters = 60
 	}
@@ -73,7 +90,13 @@ func MaxRatioContrast(g1, g2 *graph.Graph, iters int) RatioResult {
 	}
 	feasible := func(alpha float64) ([]int, bool) {
 		gd := graph.DifferenceAlpha(g1, g2, alpha)
-		res := DCSGreedy(gd)
+		res := dcsGreedyRS(gd, rs)
+		// An interrupted probe with positive density is still a valid
+		// certificate — any S with ρ_D(S) > 0 proves ρ2(S) > α·ρ1(S), no
+		// matter how early the greedy was cut — so the witness is kept (the
+		// search itself stops at the next Cancelled poll). Only an
+		// interrupted probe *without* such a witness is treated as
+		// infeasible.
 		if res.Density > 1e-12 {
 			return res.S, true
 		}
@@ -84,10 +107,16 @@ func MaxRatioContrast(g1, g2 *graph.Graph, iters int) RatioResult {
 	if S, ok := feasible(0); ok {
 		bestS = S
 	} else {
+		if rs.Interrupted() {
+			return RatioResult{Interrupted: true}
+		}
 		return RatioResult{Alpha: 0}
 	}
 	hiBound := hi * (1 + 1e-9)
 	for it := 0; it < iters && hiBound-lo > 1e-12*(1+hiBound); it++ {
+		if rs.Cancelled() {
+			break // keep the last certified witness
+		}
 		mid := (lo + hiBound) / 2
 		if S, ok := feasible(mid); ok {
 			bestS, lo = S, mid
@@ -103,5 +132,6 @@ func MaxRatioContrast(g1, g2 *graph.Graph, iters int) RatioResult {
 	if d1 > 0 && d2/d1 > alpha {
 		alpha = d2 / d1
 	}
-	return RatioResult{Alpha: alpha, S: bestS, Density2: d2, Density1: d1}
+	return RatioResult{Alpha: alpha, S: bestS, Density2: d2, Density1: d1,
+		Interrupted: rs.Interrupted()}
 }

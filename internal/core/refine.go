@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -21,9 +22,16 @@ import (
 // "not adjacent" means. x is mutated in place. Returns the number of
 // vertex-removal steps.
 func Refine(gdp *graph.Graph, x *simplex.Vector, opt GAOptions) int {
+	return refineRS(gdp, x, opt, runstate.New(nil))
+}
+
+func refineRS(gdp *graph.Graph, x *simplex.Vector, opt GAOptions, rs *runstate.State) int {
 	opt = opt.withDefaults()
 	steps := 0
 	for {
+		if rs.Checkpoint() {
+			return steps // cancelled: x may not be a positive clique yet
+		}
 		S := x.Support()
 		u, v, ok := firstNonAdjacentPair(gdp, S)
 		if !ok {
@@ -41,7 +49,7 @@ func Refine(gdp *graph.Graph, x *simplex.Vector, opt GAOptions) int {
 		x.Set(v, 0)
 		S = x.Support()
 		eps := opt.EpsBase / float64(max(len(S), 1))
-		coordinateDescent(gdp, x, S, eps, opt.MaxShrinkIter)
+		coordinateDescent(gdp, x, S, eps, opt.MaxShrinkIter, rs)
 	}
 }
 
@@ -51,9 +59,12 @@ func Refine(gdp *graph.Graph, x *simplex.Vector, opt GAOptions) int {
 // weight is 0) and only add noise to the reported support. After dropping
 // them the embedding is renormalized and re-descended to a local KKT point on
 // the smaller support, so the objective change is O(ε).
-func pruneTiny(gdp *graph.Graph, x *simplex.Vector, opt GAOptions) {
+func pruneTiny(gdp *graph.Graph, x *simplex.Vector, opt GAOptions, rs *runstate.State) {
 	opt = opt.withDefaults()
 	for {
+		if rs.Checkpoint() {
+			return
+		}
 		var maxE float64
 		x.Visit(func(u int, xu float64) {
 			if xu > maxE {
@@ -76,7 +87,7 @@ func pruneTiny(gdp *graph.Graph, x *simplex.Vector, opt GAOptions) {
 		x.Normalize()
 		S := x.Support()
 		eps := opt.EpsBase / float64(max(len(S), 1))
-		coordinateDescent(gdp, x, S, eps, opt.MaxShrinkIter)
+		coordinateDescent(gdp, x, S, eps, opt.MaxShrinkIter, rs)
 	}
 }
 

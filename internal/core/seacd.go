@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -70,14 +71,15 @@ func (s *GAStats) add(o GAStats) {
 }
 
 // shrinkFunc runs one shrink stage on the working set S, mutating x toward a
-// local KKT point, and returns the iterations spent.
-type shrinkFunc func(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions) int
+// local KKT point, and returns the iterations spent. rs carries the run's
+// cancellation checkpoint into the iteration loop.
+type shrinkFunc func(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions, rs *runstate.State) int
 
 // cdShrink is the paper's 2-coordinate-descent shrink stage with the correct
 // convergence condition max∇ − min∇ ≤ EpsBase/|S|.
-func cdShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions) int {
+func cdShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions, rs *runstate.State) int {
 	eps := opt.EpsBase / float64(max(len(S), 1))
-	return coordinateDescent(g, x, S, eps, opt.MaxShrinkIter)
+	return coordinateDescent(g, x, S, eps, opt.MaxShrinkIter, rs)
 }
 
 // replicatorShrink is the original SEA shrink stage (Appendix A, Eq. 12):
@@ -86,7 +88,7 @@ func cdShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions) int {
 // (the replicator breaks on negative entries — the very reason the paper
 // introduces coordinate descent). The loose condition is faithful to [18] and
 // is what produces the expansion errors Table VII reports.
-func replicatorShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions) int {
+func replicatorShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions, rs *runstate.State) int {
 	in := make(map[int]bool, len(S))
 	for _, u := range S {
 		in[u] = true
@@ -96,6 +98,9 @@ func replicatorShrink(g *graph.Graph, x *simplex.Vector, S []int, opt GAOptions)
 	for iters < opt.MaxReplicatorIter {
 		if f <= 0 {
 			break // dynamic undefined (single vertex / no positive mass pairs)
+		}
+		if rs.Checkpoint() {
+			break
 		}
 		iters++
 		next := simplex.New(x.N())
@@ -235,11 +240,20 @@ func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
 // expand by Z, and repeat until Z is empty. kktTol maps the working-set size
 // to the gradient precision the shrink stage guarantees; the expansion uses
 // it to decide membership in Z. It mutates x and returns per-init statistics.
-func seaLoop(g *graph.Graph, x *simplex.Vector, shrink shrinkFunc, kktTol func(sz int) float64, opt GAOptions) GAStats {
+// Cancellation (rs) stops the loop between rounds and inside the shrink
+// stage; the expansion itself is one bounded O(support+boundary) operation
+// and never needs an internal checkpoint.
+func seaLoop(g *graph.Graph, x *simplex.Vector, shrink shrinkFunc, kktTol func(sz int) float64, opt GAOptions, rs *runstate.State) GAStats {
 	var st GAStats
 	for round := 0; round < opt.MaxRounds; round++ {
+		if rs.Checkpoint() {
+			break
+		}
 		S := x.Support()
-		st.ShrinkIters += shrink(g, x, S, opt)
+		st.ShrinkIters += shrink(g, x, S, opt, rs)
+		if rs.Interrupted() {
+			break // shrink stopped mid-descent: skip the unsafe expansion
+		}
 		res := expand(g, x, kktTol(len(S)))
 		if res.expanded {
 			st.Expansions++
@@ -258,13 +272,17 @@ func seaLoop(g *graph.Graph, x *simplex.Vector, shrink shrinkFunc, kktTol func(s
 // point of max xᵀDx over the simplex. The graph is normally GD+; the
 // algorithm itself tolerates negative weights (unlike the replicator).
 func SEACD(g *graph.Graph, x *simplex.Vector, opt GAOptions) GAStats {
+	return seacdRS(g, x, opt, runstate.New(nil))
+}
+
+func seacdRS(g *graph.Graph, x *simplex.Vector, opt GAOptions, rs *runstate.State) GAStats {
 	opt = opt.withDefaults()
 	// The coordinate-descent shrink guarantees max∇−min∇ ≤ EpsBase/|S| on the
 	// working set; since f is a convex combination of the support gradients,
 	// no support vertex can exceed f by more than that — expansion is safe.
 	st := seaLoop(g, x, cdShrink, func(sz int) float64 {
 		return opt.EpsBase / float64(max(sz, 1))
-	}, opt)
+	}, opt, rs)
 	st.Inits = 1
 	return st
 }
@@ -273,6 +291,10 @@ func SEACD(g *graph.Graph, x *simplex.Vector, opt GAOptions) GAStats {
 // shrink stage and its loose convergence condition, used as the paper's
 // baseline. Run it on GD+ only (non-negative weights).
 func SEA(g *graph.Graph, x *simplex.Vector, opt GAOptions) GAStats {
+	return seaRS(g, x, opt, runstate.New(nil))
+}
+
+func seaRS(g *graph.Graph, x *simplex.Vector, opt GAOptions, rs *runstate.State) GAStats {
 	opt = opt.withDefaults()
 	// The replicator's improvement-based stop gives no gradient guarantee at
 	// all; the original implementation still tests Z membership at (roughly)
@@ -281,14 +303,7 @@ func SEA(g *graph.Graph, x *simplex.Vector, opt GAOptions) GAStats {
 	// objective — the error counted in Table VII.
 	st := seaLoop(g, x, replicatorShrink, func(int) float64 {
 		return opt.ReplicatorEps
-	}, opt)
+	}, opt, rs)
 	st.Inits = 1
 	return st
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,11 @@
 package core
 
-import "github.com/dcslib/dcs/internal/graph"
+import (
+	"context"
+
+	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
+)
 
 // TopKAverageDegree mines up to k vertex-disjoint density contrast subgraphs
 // under the average-degree measure, addressing the paper's stated future-work
@@ -16,10 +21,34 @@ import "github.com/dcslib/dcs/internal/graph"
 // (removal changes the peeling order); results are reported in discovery
 // order.
 func TopKAverageDegree(gd *graph.Graph, k int) []ADResult {
+	out, _ := topKAverageDegreeRS(gd, k, runstate.New(nil))
+	return out
+}
+
+// TopKAverageDegreeCtx is TopKAverageDegree with cooperative cancellation:
+// when ctx is done, the subgraphs already mined are returned and interrupted
+// reports the early stop. A DCSGreedy iteration cut mid-peel is discarded
+// rather than reported (its partial pick is not comparable to the completed
+// ones).
+func TopKAverageDegreeCtx(ctx context.Context, gd *graph.Graph, k int) (results []ADResult, interrupted bool) {
+	return topKAverageDegreeRS(gd, k, runstate.New(ctx))
+}
+
+func topKAverageDegreeRS(gd *graph.Graph, k int, rs *runstate.State) ([]ADResult, bool) {
 	var out []ADResult
 	work := gd
 	for len(out) < k {
-		res := DCSGreedy(work)
+		res := dcsGreedyRS(work, rs)
+		if res.Interrupted {
+			// With completed picks in hand, the truncated pick is discarded
+			// (not comparable to them). With none, it *is* the best-so-far
+			// answer — exactly what DCSGreedyCtx alone would have returned —
+			// so an interrupted k=1 call still carries a result.
+			if len(out) == 0 && len(res.S) > 0 && res.Density > 0 {
+				out = append(out, res)
+			}
+			return out, true
+		}
 		if res.Density <= 0 || len(res.S) == 0 {
 			break
 		}
@@ -29,7 +58,9 @@ func TopKAverageDegree(gd *graph.Graph, k int) []ADResult {
 		out = append(out, newADResult(gd, res.S, res.Ratio))
 		work = work.WithoutVertices(res.S)
 	}
-	return out
+	// Interrupted() (the latch), not a fresh poll: a cancellation landing
+	// after the k-th subgraph completed must not mislabel a full answer.
+	return out, rs.Interrupted()
 }
 
 // TopKGraphAffinity mines up to k vertex-disjoint positive cliques with the
@@ -38,7 +69,19 @@ func TopKAverageDegree(gd *graph.Graph, k int) []ADResult {
 // CollectCliques (which may return overlapping topics), the results here are
 // disjoint communities.
 func TopKGraphAffinity(gd *graph.Graph, k int, opt GAOptions) []Clique {
-	cliques := CollectCliques(gd, opt)
+	out, _ := topKGraphAffinityRS(gd, k, opt, runstate.New(nil))
+	return out
+}
+
+// TopKGraphAffinityCtx is TopKGraphAffinity with cooperative cancellation;
+// interrupted reports that the underlying clique collection stopped early, so
+// the selection ran over a partial candidate pool.
+func TopKGraphAffinityCtx(ctx context.Context, gd *graph.Graph, k int, opt GAOptions) (results []Clique, interrupted bool) {
+	return topKGraphAffinityRS(gd, k, opt, runstate.New(ctx))
+}
+
+func topKGraphAffinityRS(gd *graph.Graph, k int, opt GAOptions, rs *runstate.State) ([]Clique, bool) {
+	cliques, interrupted := collectCliquesRS(gd, opt, rs)
 	taken := make(map[int]bool)
 	var out []Clique
 	for _, c := range cliques {
@@ -60,5 +103,5 @@ func TopKGraphAffinity(gd *graph.Graph, k int, opt GAOptions) []Clique {
 		}
 		out = append(out, c)
 	}
-	return out
+	return out, interrupted
 }

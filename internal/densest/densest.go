@@ -19,6 +19,7 @@ import (
 
 	"github.com/dcslib/dcs/internal/graph"
 	"github.com/dcslib/dcs/internal/maxflow"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/vheap"
 )
 
@@ -37,6 +38,16 @@ type Result struct {
 // The empty graph yields an empty result; an edgeless graph yields a single
 // vertex with density 0.
 func Greedy(g *graph.Graph) Result {
+	return GreedyRS(g, runstate.New(nil))
+}
+
+// GreedyRS is Greedy with a cancellation checkpoint per peeling step. When rs
+// reports cancellation the peel stops early and the best prefix evaluated so
+// far is returned — a valid (if possibly suboptimal) subgraph, since every
+// prefix of the removal order is a candidate of the full algorithm. The
+// current prefix is always evaluated before the checkpoint, so the result is
+// never empty on a non-empty graph.
+func GreedyRS(g *graph.Graph, rs *runstate.State) Result {
 	n := g.N()
 	if n == 0 {
 		return Result{}
@@ -64,6 +75,9 @@ func Greedy(g *graph.Graph) Result {
 		if rho := totalDeg / float64(size); rho >= bestDensity {
 			bestDensity = rho
 			bestSize = size
+		}
+		if rs.Checkpoint() {
+			break
 		}
 		v, dv := h.PopMin()
 		removeOrder = append(removeOrder, v)

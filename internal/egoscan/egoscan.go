@@ -16,9 +16,11 @@
 package egoscan
 
 import (
+	"context"
 	"sort"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 // Result is a subgraph maximizing (approximately) the total weight W_D(S).
@@ -28,6 +30,9 @@ type Result struct {
 	Density        float64 // ρ_D(S) for comparison with DCS results
 	EdgeDensity    float64 // W_D(S)/|S|²
 	PositiveClique bool
+	// Interrupted marks a run cancelled mid-scan: S is the best candidate
+	// found before the cancellation, not the full scan's winner.
+	Interrupted bool
 }
 
 // Options tunes the scan.
@@ -49,6 +54,17 @@ func (o Options) withDefaults() Options {
 // Scan runs the ego-net scan on a difference graph and returns the best
 // total-weight subgraph found.
 func Scan(gd *graph.Graph, opt Options) Result {
+	return scanRS(gd, opt, runstate.New(nil))
+}
+
+// ScanCtx is Scan with cooperative cancellation: when ctx is done the scan
+// stops within one checkpoint interval and returns the best candidate found
+// so far, tagged Interrupted.
+func ScanCtx(ctx context.Context, gd *graph.Graph, opt Options) Result {
+	return scanRS(gd, opt, runstate.New(ctx))
+}
+
+func scanRS(gd *graph.Graph, opt Options, rs *runstate.State) Result {
 	opt = opt.withDefaults()
 	n := gd.N()
 	if n == 0 {
@@ -85,10 +101,13 @@ func Scan(gd *graph.Graph, opt Options) Result {
 		if posDeg[s] <= 0 {
 			break // no positive edge left to build on
 		}
+		if rs.Cancelled() {
+			break // partial scan: keep whatever the earlier seeds produced
+		}
 		if seenSeed[s] {
 			continue // already absorbed into an earlier candidate
 		}
-		S := growPrune(gd, s, opt.MaxGrowRounds)
+		S := growPrune(gd, s, opt.MaxGrowRounds, rs)
 		for _, v := range S {
 			seenSeed[v] = true
 		}
@@ -107,6 +126,7 @@ func Scan(gd *graph.Graph, opt Options) Result {
 		Density:        gd.AverageDegreeOf(bestS),
 		EdgeDensity:    gd.EdgeDensityOf(bestS),
 		PositiveClique: gd.IsPositiveClique(bestS),
+		Interrupted:    rs.Interrupted(),
 	}
 }
 
@@ -116,7 +136,7 @@ func Scan(gd *graph.Graph, opt Options) Result {
 // in-set degree is negative, until a fixed point or the round budget runs
 // out. Every step strictly increases W_D(S), so termination is guaranteed
 // even without the budget; the budget just caps worst-case work per seed.
-func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
+func growPrune(gd *graph.Graph, s int, maxRounds int, rs *runstate.State) []int {
 	in := map[int]bool{s: true}
 	gd.VisitNeighbors(s, func(v int, w float64) {
 		if w > 0 {
@@ -128,6 +148,11 @@ func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
 		// Grow: marginal gain of adding v is 2·Σ_{u∈S} w(v,u).
 		gain := make(map[int]float64)
 		for u := range in {
+			if rs.Checkpoint() {
+				// Mid-grow cancellation: the current member set is already a
+				// valid candidate; hand it back as-is.
+				return sortedMembers(in)
+			}
 			gd.VisitNeighbors(u, func(v int, w float64) {
 				if !in[v] {
 					gain[v] += w
@@ -154,6 +179,9 @@ func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
 		}
 		sort.Ints(members)
 		for _, v := range members {
+			if rs.Checkpoint() {
+				return sortedMembers(in)
+			}
 			var d float64
 			gd.VisitNeighbors(v, func(u int, w float64) {
 				if in[u] {
@@ -169,6 +197,10 @@ func growPrune(gd *graph.Graph, s int, maxRounds int) []int {
 			break
 		}
 	}
+	return sortedMembers(in)
+}
+
+func sortedMembers(in map[int]bool) []int {
 	out := make([]int, 0, len(in))
 	for v := range in {
 		out = append(out, v)

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 func randomSignedGraph(rng *rand.Rand, n int, p float64, wmax int) *graph.Graph {
@@ -130,7 +131,7 @@ func TestGrowPruneMonotone(t *testing.T) {
 		n := 3 + rng.Intn(12)
 		gd := randomSignedGraph(rng, n, 0.5, 3)
 		seed2 := rng.Intn(n)
-		S := growPrune(gd, seed2, 8)
+		S := growPrune(gd, seed2, 8, runstate.New(nil))
 		if len(S) == 0 {
 			return false
 		}

@@ -1,0 +1,83 @@
+package runstate
+
+import (
+	"context"
+	"testing"
+)
+
+func TestBackgroundNeverInterrupts(t *testing.T) {
+	for _, s := range []*State{New(nil), New(context.Background())} {
+		for i := 0; i < 3*Interval; i++ {
+			if s.Checkpoint() {
+				t.Fatal("background state reported cancellation")
+			}
+		}
+		if s.Cancelled() || s.Interrupted() {
+			t.Fatal("background state latched cancellation")
+		}
+	}
+}
+
+func TestCheckpointWithinInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(ctx)
+	// A live context passes the first (immediate) poll.
+	if s.Checkpoint() {
+		t.Fatal("live context reported cancellation")
+	}
+	cancel()
+	stopped := -1
+	for i := 0; i < Interval; i++ {
+		if s.Checkpoint() {
+			stopped = i
+			break
+		}
+	}
+	if stopped == -1 {
+		t.Fatalf("cancelled context not observed within %d checkpoints", Interval)
+	}
+	if !s.Interrupted() {
+		t.Fatal("Interrupted not latched after Checkpoint returned true")
+	}
+	// Latched: no further polls needed.
+	if !s.Checkpoint() || !s.Cancelled() {
+		t.Fatal("latched state must keep reporting cancellation")
+	}
+}
+
+func TestFirstCheckpointPollsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !New(ctx).Checkpoint() {
+		t.Fatal("first checkpoint must observe a dead context")
+	}
+}
+
+func TestCancelledPollsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(ctx)
+	if s.Cancelled() {
+		t.Fatal("live context reported cancelled")
+	}
+	cancel()
+	if !s.Cancelled() {
+		t.Fatal("Cancelled must observe the signal without amortization")
+	}
+}
+
+func TestForkSharesSignalNotCounter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	parent := New(ctx)
+	child := parent.Fork()
+	cancel()
+	if !child.Cancelled() {
+		t.Fatal("fork does not observe the shared signal")
+	}
+	// The parent's latch is its own: it has not polled yet.
+	if parent.Interrupted() {
+		t.Fatal("fork leaked its latch into the parent")
+	}
+	if !parent.Cancelled() {
+		t.Fatal("parent must observe the signal on its own poll")
+	}
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// Job status values.
+const (
+	jobQueued    = "queued"
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobCancelled = "cancelled"
+	jobFailed    = "failed"
+)
+
+// job is one asynchronous mining request. Its lifecycle is
+// queued → running → done | cancelled | failed (queued jobs can also go
+// straight to cancelled/failed). The graphs are resolved — and snapshot
+// versions pinned — at submit time, so a later snapshot replacement does not
+// change what the job computes; the references are dropped when the job
+// finishes so a retained job does not pin two O(m) graphs.
+type job struct {
+	id     string
+	seq    uint64 // monotonic submit order (ids are for clients, seq for sorting)
+	req    DCSRequest
+	g1, g2 *dcs.Graph
+	r1, r2 SnapshotRef
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	status     string
+	userCancel bool // DELETE (or server shutdown) asked for cancellation
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	result     *DCSResponse
+	errMsg     string
+}
+
+// requestCancel marks the job user-cancelled and fires its context. The
+// running solver (if any) stops at its next checkpoint; a queued job's
+// pool-slot wait aborts immediately.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	j.userCancel = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (j *job) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
+
+// info snapshots the job for the API.
+func (j *job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.id,
+		Status:    j.status,
+		Measure:   j.req.Measure,
+		CreatedAt: j.created,
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.FinishedAt = &t
+	}
+	return info
+}
+
+// jobRegistry tracks every live job plus a bounded tail of finished ones.
+// Finished jobs are retained (oldest evicted beyond retain) so clients can
+// poll results; the cumulative counters keep counting evicted jobs.
+type jobRegistry struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // eviction order, oldest first
+	retain   int
+	nextID   uint64
+	// activeJobs counts queued+running jobs (add increments, finish
+	// decrements), keeping submit-time admission O(1) regardless of how many
+	// finished jobs the retention tail holds.
+	activeJobs int
+	// Cumulative outcome counters, including evicted jobs.
+	done, cancelled, failed int
+}
+
+func newJobRegistry(retain int) *jobRegistry {
+	if retain < 1 {
+		retain = 1
+	}
+	return &jobRegistry{jobs: make(map[string]*job), retain: retain}
+}
+
+// add registers a fresh queued job and assigns its id. When maxActive > 0
+// and that many jobs are already queued or running, the job is rejected
+// instead; check and insert share the registry lock, so concurrent submits
+// cannot over-admit past the bound.
+func (reg *jobRegistry) add(j *job, maxActive int) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if maxActive > 0 && reg.activeJobs >= maxActive {
+		return fmt.Errorf("server busy: %d jobs already queued or running", maxActive)
+	}
+	reg.nextID++
+	j.seq = reg.nextID
+	j.id = fmt.Sprintf("job-%d", reg.nextID)
+	j.status = jobQueued
+	j.created = time.Now()
+	reg.jobs[j.id] = j
+	reg.activeJobs++
+	return nil
+}
+
+func (reg *jobRegistry) get(id string) (*job, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	j, ok := reg.jobs[id]
+	return j, ok
+}
+
+// active counts jobs still waiting for or holding a pool slot.
+func (reg *jobRegistry) active() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.activeJobs
+}
+
+func (reg *jobRegistry) setRunning(j *job) {
+	j.mu.Lock()
+	j.status = jobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records the job's terminal state, releases its graph references and
+// applies the retention bound.
+func (reg *jobRegistry) finish(j *job, status string, result *DCSResponse, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.finished = time.Now()
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	// Drop every graph reference, including inline request bodies — a
+	// retained job must cost O(1), not pin O(m) edge lists until eviction.
+	j.g1, j.g2 = nil, nil
+	j.req.Graph1, j.req.Graph2 = nil, nil
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.activeJobs--
+	switch status {
+	case jobDone:
+		reg.done++
+	case jobCancelled:
+		reg.cancelled++
+	case jobFailed:
+		reg.failed++
+	}
+	reg.finished = append(reg.finished, j.id)
+	for len(reg.finished) > reg.retain {
+		delete(reg.jobs, reg.finished[0])
+		reg.finished = reg.finished[1:]
+	}
+}
+
+// cancelAll fires every live job's cancellation (used by Server.Close).
+func (reg *jobRegistry) cancelAll() {
+	reg.mu.Lock()
+	live := make([]*job, 0, len(reg.jobs))
+	for _, j := range reg.jobs {
+		live = append(live, j)
+	}
+	reg.mu.Unlock()
+	for _, j := range live {
+		j.requestCancel()
+	}
+}
+
+// list returns every tracked job, newest first.
+func (reg *jobRegistry) list() []JobInfo {
+	reg.mu.Lock()
+	jobs := make([]*job, 0, len(reg.jobs))
+	for _, j := range reg.jobs {
+		jobs = append(jobs, j)
+	}
+	reg.mu.Unlock()
+	// Newest first by submit sequence (CreatedAt can collide within one
+	// clock granule, and ids compare lexicographically — job-9 > job-10).
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
+	infos := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		infos = append(infos, j.info())
+	}
+	return infos
+}
+
+func (reg *jobRegistry) stats() JobStats {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	st := JobStats{
+		Done:      reg.done,
+		Cancelled: reg.cancelled,
+		Failed:    reg.failed,
+		Retained:  len(reg.finished),
+	}
+	for _, j := range reg.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case jobQueued:
+			st.Queued++
+		case jobRunning:
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	return st
+}
+
+// runJob is the job goroutine: wait for a pool slot, solve under the job's
+// context (plus SolveTimeout once running), record the outcome. Spawned by
+// the submit handler; exits promptly on cancellation because both the slot
+// wait and every solver loop observe j.ctx.
+func (s *Server) runJob(j *job) {
+	defer j.cancel() // release context resources however the job ends
+	if err := s.pool.acquireJob(j.ctx); err != nil {
+		switch {
+		case j.userCancelled() || errors.Is(err, context.Canceled):
+			s.jobs.finish(j, jobCancelled, nil, "")
+		case errors.Is(err, errPoolClosed):
+			// Shutdown raced the submit; name the reason so the client does
+			// not see an unexplained cancellation.
+			s.jobs.finish(j, jobCancelled, nil, err.Error())
+		default:
+			s.jobs.finish(j, jobFailed, nil, err.Error())
+		}
+		return
+	}
+	defer s.pool.release()
+	s.jobs.setRunning(j)
+	ctx := j.ctx
+	if s.cfg.SolveTimeout > 0 {
+		// The solve budget starts when the slot is acquired, not at submit:
+		// time spent queued must not eat into it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	resp, err := s.solve(ctx, &j.req, j.g1, j.g2, j.r1, j.r2)
+	switch {
+	case err != nil:
+		s.jobs.finish(j, jobFailed, nil, err.Error())
+	case j.userCancelled() && resp.Interrupted:
+		// Explicit cancellation that actually cut the solve: keep the
+		// partial result under the cancelled status.
+		s.jobs.finish(j, jobCancelled, resp, "")
+	default:
+		// Done covers SolveTimeout expiry (complete job, interrupted result)
+		// and a DELETE that raced the solver's normal completion — the
+		// result is then full, so reporting it cancelled/partial would lie.
+		s.jobs.finish(j, jobDone, resp, "")
+	}
+}
+
+// handleJobs serves POST /v1/jobs (submit) and GET /v1/jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.jobs.list())
+	case http.MethodPost:
+		var req DCSRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		if err := validateDCSRequest(&req); err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		g1, g2, r1, r2, err := s.resolvePair(&req)
+		if err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		// Mirror the synchronous path's shutdown behavior: after Close, job
+		// submits are rejected with 503 instead of accepted-then-cancelled.
+		if s.pool.isClosed() {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &job{req: req, g1: g1, g2: g2, r1: r1, r2: r2, ctx: ctx, cancel: cancel}
+		if err := s.jobs.add(j, s.cfg.MaxQueue); err != nil {
+			cancel()
+			writeError(w, http.StatusServiceUnavailable, "%s", err)
+			return
+		}
+		// Snapshot before spawning: a free pool slot lets runJob flip the
+		// status to "running" (or beyond) before this handler writes.
+		info := j.info()
+		go s.runJob(j)
+		writeJSON(w, http.StatusAccepted, info)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleJobByID serves GET /v1/jobs/{id} (poll) and DELETE /v1/jobs/{id}
+// (cancel).
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs are retained up to the configured bound)", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, j.info())
+	case http.MethodDelete:
+		// Idempotent; cancelling a finished job changes nothing. The response
+		// is the state at cancel time — clients poll until "cancelled".
+		j.mu.Lock()
+		terminal := j.status == jobDone || j.status == jobCancelled || j.status == jobFailed
+		j.mu.Unlock()
+		if !terminal {
+			j.requestCancel()
+		}
+		writeJSON(w, http.StatusOK, j.info())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}

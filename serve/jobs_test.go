@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// doJob runs one request and decodes the JSON response on any 2xx status
+// (job submits return 202, unlike doJSON's 200-only decoding).
+func doJob(t *testing.T, h http.Handler, method, path string, body, out any) int {
+	t.Helper()
+	raw := []byte(nil)
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code >= 200 && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode response %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches want (or fails the
+// test at the deadline).
+func pollJob(t *testing.T, s *Server, id, want string, d time.Duration) JobInfo {
+	t.Helper()
+	var last JobInfo
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if code := doJob(t, s, http.MethodGet, "/v1/jobs/"+id, nil, &last); code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if last.Status == want {
+			return last
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q, want %q", id, last.Status, want)
+	return last
+}
+
+// slowSnapshotPair registers a pair whose avgdeg top-k mining runs for many
+// seconds uncancelled: g2 holds `pairs` vertex-disjoint positive edges, so
+// every edge is its own contrast subgraph and the top-k loop re-peels the
+// whole ~2·pairs-vertex graph once per mined edge. Cancellation, by
+// contrast, lands within one checkpoint interval of the peeling loop —
+// microseconds — which is what the tests below assert (with CI-safe
+// slack).
+func slowSnapshotPair(t *testing.T, s *Server, pairs int) {
+	t.Helper()
+	n := 2 * pairs
+	b1 := dcs.NewBuilder(n)
+	b2 := dcs.NewBuilder(n)
+	for i := 0; i < pairs; i++ {
+		// Distinct weights keep the mining order deterministic.
+		b2.AddEdge(2*i, 2*i+1, 1+float64(i%97)/97)
+	}
+	s.Store().Put("slow1", b1.Build())
+	s.Store().Put("slow2", b2.Build())
+}
+
+// slowRequest mines far more top-k subgraphs than any test waits for.
+func slowRequest() DCSRequest {
+	return DCSRequest{Measure: "avgdeg", G1: "slow1", G2: "slow2", K: 1 << 20}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	upload(t, s)
+
+	// Submit, then poll to completion.
+	var info JobInfo
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if info.ID == "" || info.Status != "queued" || info.Measure != "avgdeg" {
+		t.Fatalf("unexpected submit response %+v", info)
+	}
+	done := pollJob(t, s, info.ID, "done", 10*time.Second)
+	if done.Result == nil || done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatalf("done job missing result or timestamps: %+v", done)
+	}
+	if done.Result.Interrupted {
+		t.Fatal("uncancelled job reported an interrupted result")
+	}
+	// The async result matches the synchronous endpoint's.
+	var sync DCSResponse
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &sync); code != http.StatusOK {
+		t.Fatalf("sync solve: status %d", code)
+	}
+	if len(done.Result.Results) != len(sync.Results) ||
+		done.Result.Results[0].Density != sync.Results[0].Density {
+		t.Fatalf("async result %+v differs from sync %+v", done.Result.Results, sync.Results)
+	}
+
+	// Listing includes the job; health counts it.
+	var list []JobInfo
+	if code := doJob(t, s, http.MethodGet, "/v1/jobs", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list: status %d, %d jobs", code, len(list))
+	}
+	var h HealthResponse
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Jobs.Done != 1 || h.Jobs.Retained != 1 {
+		t.Fatalf("health job stats %+v, want one done/retained", h.Jobs)
+	}
+
+	// Cancelling a finished job is a no-op.
+	var after JobInfo
+	if code := doJob(t, s, http.MethodDelete, "/v1/jobs/"+info.ID, nil, &after); code != http.StatusOK {
+		t.Fatalf("delete finished: status %d", code)
+	}
+	if after.Status != "done" {
+		t.Fatalf("delete flipped a finished job to %q", after.Status)
+	}
+}
+
+func TestJobErrors(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	upload(t, s)
+	cases := []struct {
+		name string
+		req  DCSRequest
+		want int
+	}{
+		{"missing measure", DCSRequest{G1: "old", G2: "new"}, http.StatusBadRequest},
+		{"bad measure", DCSRequest{Measure: "modularity", G1: "old", G2: "new"}, http.StatusBadRequest},
+		{"unknown snapshot", DCSRequest{Measure: "avgdeg", G1: "nope", G2: "new"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code := doJob(t, s, http.MethodPost, "/v1/jobs", c.req, nil); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+	if code := doJob(t, s, http.MethodGet, "/v1/jobs/job-999", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := doJob(t, s, http.MethodPut, "/v1/jobs", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/jobs: status %d, want 405", code)
+	}
+	// Unknown ids 404 before the method check; a real job answers 405 to
+	// unsupported methods.
+	if code := doJob(t, s, http.MethodPut, "/v1/jobs/job-999", nil, nil); code != http.StatusNotFound {
+		t.Errorf("PUT unknown job: status %d, want 404", code)
+	}
+	var info JobInfo
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollJob(t, s, info.ID, "done", 10*time.Second)
+	if code := doJob(t, s, http.MethodPut, "/v1/jobs/"+info.ID, nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/jobs/{id}: status %d, want 405", code)
+	}
+}
+
+// TestJobCancelFreesPoolSlot is the acceptance test for the async path: a
+// long solve submitted via POST /v1/jobs is cancelled with DELETE, the
+// solver stops within one checkpoint interval (asserted with generous CI
+// slack), the partial result is retained, and the pool slot frees up for the
+// next request.
+func TestJobCancelFreesPoolSlot(t *testing.T) {
+	s := New(Config{PoolSize: 1})
+	defer s.Close()
+	upload(t, s)
+	slowSnapshotPair(t, s, 15000)
+
+	var info JobInfo
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", slowRequest(), &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollJob(t, s, info.ID, "running", 10*time.Second)
+
+	cancelAt := time.Now()
+	if code := doJob(t, s, http.MethodDelete, "/v1/jobs/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	cancelled := pollJob(t, s, info.ID, "cancelled", 5*time.Second)
+	if lat := time.Since(cancelAt); lat > 5*time.Second {
+		t.Fatalf("cancellation latency %v", lat)
+	}
+	if cancelled.Result == nil || !cancelled.Result.Interrupted {
+		t.Fatalf("cancelled job lost its partial result: %+v", cancelled)
+	}
+
+	// The slot is free: a small synchronous request on the pool-of-one
+	// server completes immediately.
+	waitFor(t, 5*time.Second, func() bool { return s.pool.InFlight() == 0 },
+		"pool slot not freed after cancellation")
+	var resp DCSResponse
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
+		t.Fatalf("post-cancel solve: status %d", code)
+	}
+}
+
+// TestSyncDisconnectFreesSlot is the acceptance test for the synchronous
+// path: when the client of a long /v1/dcs request disconnects, the solver
+// stops consuming CPU and the pool slot frees without waiting for the solve
+// to finish.
+func TestSyncDisconnectFreesSlot(t *testing.T) {
+	s := New(Config{PoolSize: 1})
+	defer s.Close()
+	upload(t, s)
+	slowSnapshotPair(t, s, 15000)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	raw, _ := json.Marshal(slowRequest())
+	req := httptest.NewRequest(http.MethodPost, "/v1/dcs", bytes.NewReader(raw)).WithContext(ctx)
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.pool.InFlight() == 1 },
+		"slow request never took the slot")
+	cancel() // the client goes away
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler kept computing after the client disconnected")
+	}
+	waitFor(t, 5*time.Second, func() bool { return s.pool.InFlight() == 0 },
+		"pool slot not freed after disconnect")
+}
+
+// TestSolveTimeoutReturnsPartial covers the SolveTimeout knob on the
+// synchronous path: the deadline interrupts the solver, which still answers
+// 200 with its best-so-far results and "interrupted": true.
+func TestSolveTimeoutReturnsPartial(t *testing.T) {
+	s := New(Config{SolveTimeout: 50 * time.Millisecond})
+	defer s.Close()
+	slowSnapshotPair(t, s, 15000)
+
+	start := time.Now()
+	var resp DCSResponse
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", slowRequest(), &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Interrupted {
+		t.Fatal("deadline-cut response not marked interrupted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed-out solve still ran %v", elapsed)
+	}
+	// Partial results (if any) are validated subgraphs of the fixture: each
+	// is one of the planted disjoint edges.
+	for _, r := range resp.Results {
+		if len(r.S) != 2 {
+			t.Fatalf("unexpected partial subgraph %v", r.S)
+		}
+	}
+}
+
+func TestJobRetentionEviction(t *testing.T) {
+	s := New(Config{JobRetention: 2})
+	defer s.Close()
+	upload(t, s)
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	ids := make([]string, 3)
+	for i := range ids {
+		var info JobInfo
+		if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, &info); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids[i] = info.ID
+		pollJob(t, s, info.ID, "done", 10*time.Second)
+	}
+	// Oldest finished job is gone; the two newest are retained.
+	if code := doJob(t, s, http.MethodGet, "/v1/jobs/"+ids[0], nil, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted job: status %d, want 404", code)
+	}
+	for _, id := range ids[1:] {
+		if code := doJob(t, s, http.MethodGet, "/v1/jobs/"+id, nil, nil); code != http.StatusOK {
+			t.Fatalf("retained job %s: status %d", id, code)
+		}
+	}
+	var h HealthResponse
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Jobs.Done != 3 || h.Jobs.Retained != 2 {
+		t.Fatalf("job stats %+v, want done=3 retained=2", h.Jobs)
+	}
+}
+
+func TestJobQueueBound(t *testing.T) {
+	s := New(Config{PoolSize: 1, MaxQueue: 1})
+	defer s.Close()
+	upload(t, s)
+	// Occupy the only slot so submitted jobs stay queued.
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	var first JobInfo
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, &first); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	// With one job active the bound rejects the next submission outright.
+	waitFor(t, time.Second, func() bool { return s.jobs.active() == 1 }, "job never registered")
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound submit: status %d, want 503", code)
+	}
+	s.pool.release()
+	pollJob(t, s, first.ID, "done", 10*time.Second)
+}
+
+// TestJobNotBouncedBySyncQueueBound: an accepted job must run even when the
+// synchronous waiting line is at its MaxQueue bound — jobs are
+// admission-controlled at submit time and do not compete for sync queue
+// positions.
+func TestJobNotBouncedBySyncQueueBound(t *testing.T) {
+	s := New(Config{PoolSize: 1, MaxQueue: 1, QueueTimeout: 30 * time.Second})
+	defer s.Close()
+	upload(t, s)
+	// Occupy the slot, then fill the sync waiting line to its bound.
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	syncDone := make(chan int, 1)
+	go func() {
+		raw, _ := json.Marshal(DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"})
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/dcs", bytes.NewReader(raw)))
+		syncDone <- rec.Code
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.pool.Waiting() == 1 }, "sync request never queued")
+
+	// No job is active, so the submit is accepted — and must not then fail
+	// against the full sync queue.
+	var info JobInfo
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitFor(t, 5*time.Second, func() bool { return s.pool.Waiting() == 2 }, "job never queued for the slot")
+	s.pool.release()
+	done := pollJob(t, s, info.ID, "done", 10*time.Second)
+	if done.Error != "" {
+		t.Fatalf("job bounced: %q", done.Error)
+	}
+	if code := <-syncDone; code != http.StatusOK {
+		t.Fatalf("queued sync request: status %d", code)
+	}
+}
+
+func TestServerCloseCancelsJobs(t *testing.T) {
+	s := New(Config{PoolSize: 1})
+	upload(t, s)
+	slowSnapshotPair(t, s, 15000)
+	var info JobInfo
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", slowRequest(), &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollJob(t, s, info.ID, "running", 10*time.Second)
+	s.Close()
+	pollJob(t, s, info.ID, "cancelled", 5*time.Second)
+	waitFor(t, 5*time.Second, func() bool { return s.pool.InFlight() == 0 },
+		"slot not freed on close")
+	// The pool rejects new work after Close — sync and async alike.
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close solve: status %d, want 503", code)
+	}
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close job submit: status %d, want 503", code)
+	}
+}

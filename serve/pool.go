@@ -2,35 +2,114 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
+)
+
+var (
+	// errQueueFull rejects a request immediately when the waiting line for a
+	// pool slot is already at its configured bound.
+	errQueueFull = errors.New("serve: worker queue full")
+	// errPoolClosed rejects waiting and future requests once the pool has
+	// been shut down.
+	errPoolClosed = errors.New("serve: server shutting down")
 )
 
 // workerPool bounds how many mining jobs run at once. Each admitted request
 // occupies one slot for the duration of its computation; excess requests wait
-// until a slot frees or their context is done. Per-job CPU fan-out is
-// separate: the affinity solvers additionally split their initializations
+// until a slot frees, their context is done, or the pool closes. An optional
+// bound on the waiting line itself (maxWaiting) turns overload into an
+// immediate rejection instead of an ever-growing queue. Per-job CPU fan-out
+// is separate: the affinity solvers additionally split their initializations
 // over Options.Parallelism goroutines inside one slot.
 type workerPool struct {
 	sem      chan struct{}
 	inFlight atomic.Int64
+	// waiting counts every queued acquire (sync and job) for observability;
+	// syncWaiting counts only the bounded (synchronous) ones, so the
+	// maxWaiting check cannot be consumed by job backlog.
+	syncWaiting atomic.Int64
+	waiting     atomic.Int64
+	maxWaiting  int64 // 0 = unlimited
+	closed      chan struct{}
+	closeOnce   sync.Once
 }
 
-func newWorkerPool(size int) *workerPool {
+func newWorkerPool(size, maxWaiting int) *workerPool {
 	if size < 1 {
 		size = 1
 	}
-	return &workerPool{sem: make(chan struct{}, size)}
+	if maxWaiting < 0 {
+		maxWaiting = 0
+	}
+	return &workerPool{
+		sem:        make(chan struct{}, size),
+		maxWaiting: int64(maxWaiting),
+		closed:     make(chan struct{}),
+	}
 }
 
-// acquire blocks until a slot is free or ctx is done.
+// acquire blocks until a slot is free, ctx is done, or the pool closes. A
+// free slot is taken without ever touching the waiting line; otherwise the
+// caller joins it, failing fast with errQueueFull when it is already at its
+// bound. This is the synchronous-request entry point.
 func (p *workerPool) acquire(ctx context.Context) error {
+	return p.acquireBounded(ctx, true)
+}
+
+// acquireJob is acquire without the waiting-line bound: async jobs are
+// admission-controlled at submit time (Config.MaxQueue on active jobs), so
+// an already-accepted job must never be bounced by the synchronous queue
+// bound it does not participate in.
+func (p *workerPool) acquireJob(ctx context.Context) error {
+	return p.acquireBounded(ctx, false)
+}
+
+func (p *workerPool) acquireBounded(ctx context.Context, bounded bool) error {
+	select {
+	case <-p.closed:
+		return errPoolClosed
+	default:
+	}
+	// Fast path: an uncontended slot never counts as waiting, so a bursty
+	// arrival cannot be queue-rejected while capacity is free.
 	select {
 	case p.sem <- struct{}{}:
-		p.inFlight.Add(1)
-		return nil
+		return p.admitted()
+	default:
+	}
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
+	if bounded && p.maxWaiting > 0 {
+		if w := p.syncWaiting.Add(1); w > p.maxWaiting {
+			p.syncWaiting.Add(-1)
+			return errQueueFull
+		}
+		defer p.syncWaiting.Add(-1)
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return p.admitted()
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-p.closed:
+		return errPoolClosed
 	}
+}
+
+// admitted finalizes a won slot — unless the pool closed in the meantime: a
+// select with both a freed slot and a concurrent close ready picks randomly,
+// so the winner must re-check or close()'s reject-all guarantee breaks.
+func (p *workerPool) admitted() error {
+	select {
+	case <-p.closed:
+		<-p.sem
+		return errPoolClosed
+	default:
+	}
+	p.inFlight.Add(1)
+	return nil
 }
 
 func (p *workerPool) release() {
@@ -38,7 +117,29 @@ func (p *workerPool) release() {
 	<-p.sem
 }
 
+// close rejects every waiting acquire (and all future ones) with
+// errPoolClosed. Slots already held stay valid until released; their solvers
+// are stopped separately through context cancellation. Idempotent.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+}
+
+// isClosed reports whether close has been called.
+func (p *workerPool) isClosed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}
+
 // InFlight reports how many jobs hold a slot right now.
 func (p *workerPool) InFlight() int {
 	return int(p.inFlight.Load())
+}
+
+// Waiting reports how many requests are queued for a slot right now.
+func (p *workerPool) Waiting() int {
+	return int(p.waiting.Load())
 }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestPoolQueueFullRejection(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is allowed to queue...
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- p.acquire(context.Background())
+	}()
+	waitFor(t, time.Second, func() bool { return p.Waiting() == 1 }, "waiter never queued")
+	// ...the next request is rejected immediately, well before any timeout.
+	start := time.Now()
+	if err := p.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire over the queue bound: err %v, want errQueueFull", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("queue-full rejection took %v, want immediate", elapsed)
+	}
+	// Releasing the slot admits the queued waiter.
+	p.release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	p.release()
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("in-flight %d after all releases, want 0", got)
+	}
+}
+
+func TestPoolReleaseAfterCancel(t *testing.T) {
+	p := newWorkerPool(1, 0)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A waiter whose context dies must leave without a slot (nothing to
+	// release) and without corrupting the counters.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- p.acquire(ctx) }()
+	waitFor(t, time.Second, func() bool { return p.Waiting() == 1 }, "waiter never queued")
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err %v, want context.Canceled", err)
+	}
+	waitFor(t, time.Second, func() bool { return p.Waiting() == 0 }, "waiting count not restored")
+	if got := p.InFlight(); got != 1 {
+		t.Fatalf("in-flight %d, want 1 (only the original holder)", got)
+	}
+	// The slot the holder releases is immediately acquirable: the cancelled
+	// waiter did not consume it.
+	p.release()
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	p.release()
+}
+
+func TestPoolCloseWhileWaiting(t *testing.T) {
+	p := newWorkerPool(1, 0)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- p.acquire(context.Background())
+		}()
+	}
+	waitFor(t, time.Second, func() bool { return p.Waiting() == waiters }, "waiters never queued")
+	p.close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, errPoolClosed) {
+			t.Fatalf("waiter after close: err %v, want errPoolClosed", err)
+		}
+	}
+	// New arrivals are rejected too, even though a slot is technically free
+	// after the holder releases.
+	p.release()
+	if err := p.acquire(context.Background()); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("acquire after close: err %v, want errPoolClosed", err)
+	}
+	// close is idempotent.
+	p.close()
+}

@@ -39,6 +39,23 @@ type Config struct {
 	// rebuild. Replacing a snapshot bumps its version and thereby invalidates
 	// its cached differences. Default 64 entries; negative disables caching.
 	DiffCacheSize int
+	// SolveTimeout bounds how long one mining request may compute once it
+	// holds a pool slot (queueing time does not count). An expired solve is
+	// interrupted at its next cancellation checkpoint and returns its
+	// best-so-far partial result with "interrupted": true. 0 means unlimited.
+	// Client disconnects and job cancellations interrupt solves the same way
+	// regardless of this setting.
+	SolveTimeout time.Duration
+	// MaxQueue bounds the overload backlog: how many synchronous requests may
+	// wait for a pool slot (beyond it they are rejected with 503 immediately
+	// instead of queueing until QueueTimeout), and likewise how many async
+	// jobs may be queued or running at once. 0 means unlimited.
+	MaxQueue int
+	// JobRetention bounds how many *finished* async jobs are kept for
+	// polling; beyond it the oldest finished jobs are evicted (a GET for an
+	// evicted id returns 404). Queued and running jobs are never evicted.
+	// Default 256.
+	JobRetention int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.DiffCacheSize == 0 {
 		c.DiffCacheSize = 64
 	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 256
+	}
 	return c
 }
 
@@ -67,6 +87,7 @@ type Server struct {
 	store  *Store
 	pool   *workerPool
 	dcache *diffCache
+	jobs   *jobRegistry
 	mux    *http.ServeMux
 	start  time.Time
 }
@@ -82,16 +103,29 @@ func New(cfg Config) *Server {
 	s.dcache = newDiffCache(max(s.cfg.DiffCacheSize, 0))
 	// Replacing a snapshot (through any path) purges its cached differences.
 	s.store.onReplace = s.dcache.purgeName
-	s.pool = newWorkerPool(s.cfg.PoolSize)
+	s.pool = newWorkerPool(s.cfg.PoolSize, s.cfg.MaxQueue)
+	s.jobs = newJobRegistry(s.cfg.JobRetention)
 	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("/v1/dcs", s.handleDCS)
 	s.mux.HandleFunc("/v1/topics", s.handleTopics)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
 // Store exposes the snapshot registry, e.g. for preloading at startup.
 func (s *Server) Store() *Store { return s.store }
+
+// Close shuts the mining machinery down: requests waiting for a pool slot
+// are rejected with 503, and every queued or running async job is cancelled
+// (running solvers stop at their next checkpoint and record a cancelled
+// status with their partial result). The snapshot store and read-only
+// endpoints keep working; Close is idempotent.
+func (s *Server) Close() {
+	s.pool.close()
+	s.jobs.cancelAll()
+}
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -142,8 +176,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:    "ok",
 		Snapshots: s.store.Len(),
 		InFlight:  s.pool.InFlight(),
+		Waiting:   s.pool.Waiting(),
 		UptimeSec: time.Since(s.start).Seconds(),
 		DiffCache: s.dcache.stats(),
+		Jobs:      s.jobs.stats(),
 	})
 }
 
@@ -238,9 +274,26 @@ func (s *Server) admit(r *http.Request) (func(), error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
 	if err := s.pool.acquire(ctx); err != nil {
-		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "server busy: no worker slot within queue timeout"}
+		msg := "server busy: no worker slot within queue timeout"
+		switch {
+		case errors.Is(err, errQueueFull):
+			msg = "server busy: worker queue full"
+		case errors.Is(err, errPoolClosed):
+			msg = "server shutting down"
+		}
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: msg}
 	}
 	return s.pool.release, nil
+}
+
+// solveCtx derives the context one admitted solve runs under: the request's
+// own context (so a client disconnect interrupts the solver and frees the
+// slot) bounded by SolveTimeout when configured.
+func (s *Server) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.SolveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // weightsOf extracts the simplex weights aligned with S. The embedding type
@@ -256,45 +309,31 @@ func weightsOf(x interface{ Get(u int) float64 }, S []int) []float64 {
 	return out
 }
 
-func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
-	var req DCSRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		writeHTTPError(w, err)
-		return
-	}
+// validateDCSRequest checks the measure/k/alpha fields shared by the
+// synchronous /v1/dcs handler and the async job submit.
+func validateDCSRequest(req *DCSRequest) error {
 	switch req.Measure {
 	case "avgdeg", "affinity", "totalweight", "ratio":
 	case "":
-		writeError(w, http.StatusBadRequest, "measure is required: avgdeg | affinity | totalweight | ratio")
-		return
+		return badRequest("measure is required: avgdeg | affinity | totalweight | ratio")
 	default:
-		writeError(w, http.StatusBadRequest, "unknown measure %q: want avgdeg | affinity | totalweight | ratio", req.Measure)
-		return
+		return badRequest("unknown measure %q: want avgdeg | affinity | totalweight | ratio", req.Measure)
 	}
 	if req.K < 0 {
-		writeError(w, http.StatusBadRequest, "k must be non-negative")
-		return
+		return badRequest("k must be non-negative")
 	}
 	if req.Alpha < 0 || math.IsNaN(req.Alpha) || math.IsInf(req.Alpha, 0) {
-		writeError(w, http.StatusBadRequest, "alpha must be a non-negative finite number")
-		return
+		return badRequest("alpha must be a non-negative finite number")
 	}
-	g1, g2, r1, r2, err := s.resolvePair(&req)
-	if err != nil {
-		writeHTTPError(w, err)
-		return
-	}
-	release, err := s.admit(r)
-	if err != nil {
-		writeHTTPError(w, err)
-		return
-	}
-	defer release()
+	return nil
+}
 
+// solve runs one validated mining request against its resolved graphs under
+// ctx. The caller must already hold a pool slot. When ctx is cancelled — the
+// client disconnected, the SolveTimeout expired or a job was cancelled — the
+// solver in flight stops at its next checkpoint and the response carries the
+// best-so-far partial result with Interrupted set.
+func (s *Server) solve(ctx context.Context, req *DCSRequest, g1, g2 *dcs.Graph, r1, r2 SnapshotRef) (*DCSResponse, error) {
 	alpha := req.Alpha
 	if alpha == 0 {
 		alpha = 1
@@ -304,12 +343,13 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 		k = 1
 	}
 	started := time.Now()
-	resp := DCSResponse{Measure: req.Measure, G1: r1, G2: r2, Alpha: alpha}
+	resp := &DCSResponse{Measure: req.Measure, G1: r1, G2: r2, Alpha: alpha}
 
 	switch req.Measure {
 	case "ratio":
 		resp.Alpha = 0 // output field Alpha is input-only here; Ratio carries the answer
-		res := dcs.FindMaxRatioContrast(g1, g2)
+		res := dcs.FindMaxRatioContrastCtx(ctx, g1, g2)
+		resp.Interrupted = res.Interrupted
 		rj := &RatioJSON{S: res.S, Density1: res.Density1, Density2: res.Density2}
 		if math.IsInf(res.Alpha, 1) {
 			rj.Unbounded = true
@@ -319,10 +359,11 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 		resp.Ratio = rj
 	case "avgdeg":
 		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
-		for _, res := range dcs.TopKAverageDegreeDCSOn(gd, k) {
+		results, interrupted := dcs.TopKAverageDegreeDCSOnCtx(ctx, gd, k)
+		resp.Interrupted = interrupted
+		for _, res := range results {
 			if err := dcs.ValidateAverageDegreeResult(gd, res); err != nil {
-				writeError(w, http.StatusInternalServerError, "result failed validation: %s", err)
-				return
+				return nil, fmt.Errorf("result failed validation: %s", err)
 			}
 			resp.Results = append(resp.Results, SubgraphJSON{
 				S:              res.S,
@@ -337,20 +378,23 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 	case "affinity":
 		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
 		if k == 1 {
-			res := dcs.FindGraphAffinityDCSOn(gd, s.options())
+			res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, s.options())
+			resp.Interrupted = res.Interrupted
 			if err := dcs.ValidateGraphAffinityResult(gd, res); err != nil {
-				writeError(w, http.StatusInternalServerError, "result failed validation: %s", err)
-				return
+				return nil, fmt.Errorf("result failed validation: %s", err)
 			}
 			resp.Results = append(resp.Results, gaSubgraph(gd, res.S, res.Affinity, weightsOf(res.X, res.S)))
 		} else {
-			for _, c := range dcs.TopKGraphAffinityDCSOn(gd, k, s.options()) {
+			cliques, interrupted := dcs.TopKGraphAffinityDCSOnCtx(ctx, gd, k, s.options())
+			resp.Interrupted = interrupted
+			for _, c := range cliques {
 				resp.Results = append(resp.Results, gaSubgraph(gd, c.S, c.Affinity, weightsOf(c.X, c.S)))
 			}
 		}
 	case "totalweight":
 		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
-		res := dcs.FindMaxTotalWeightSubgraphOn(gd)
+		res := dcs.FindMaxTotalWeightSubgraphOnCtx(ctx, gd)
+		resp.Interrupted = res.Interrupted
 		resp.Results = append(resp.Results, SubgraphJSON{
 			S:              res.S,
 			Density:        res.Density,
@@ -361,6 +405,42 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req DCSRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if err := validateDCSRequest(&req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	g1, g2, r1, r2, err := s.resolvePair(&req)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	release, err := s.admit(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	resp, err := s.solve(ctx, &req, g1, g2, r1, r2)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -405,6 +485,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
 	started := time.Now()
 	// Emerging topics are denser in g2; disappearing ones denser in g1. The
 	// two directions cache under distinct (ordered) keys; only the requested
@@ -415,8 +497,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		gd = s.differenceGraph(g1, g2, r1, r2, 1)
 	}
-	cliques := dcs.TopContrastCliquesOn(gd, s.options())
-	resp := TopicsResponse{G1: r1, G2: r2, Direction: direction}
+	cliques, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, s.options())
+	resp := TopicsResponse{G1: r1, G2: r2, Direction: direction, Interrupted: interrupted}
 	for i, c := range cliques {
 		if i >= k {
 			break

@@ -13,7 +13,21 @@
 //	                     inline edge lists, optional top-k and alpha
 //	GET  /v1/topics      the TopContrastCliques pipeline over two named
 //	                     snapshots (the paper's emerging/disappearing topics)
-//	GET  /healthz        liveness, snapshot count, in-flight job count
+//	POST /v1/jobs        submit a /v1/dcs request as an asynchronous job;
+//	                     returns a job id immediately
+//	GET  /v1/jobs        list jobs; GET /v1/jobs/{id} polls one job's status
+//	                     (queued | running | done | cancelled | failed) and
+//	                     its result once finished
+//	DELETE /v1/jobs/{id} cancel a queued or running job; a running solver
+//	                     stops within one checkpoint interval and its
+//	                     best-so-far partial result is kept
+//	GET  /healthz        liveness, snapshot count, in-flight and queued
+//	                     counts, job statistics
+//
+// Mining runs under the request's context plus the configured SolveTimeout:
+// a client disconnect or an expired deadline interrupts the solver at its
+// next cancellation checkpoint, frees the pool slot, and (for deadlines) the
+// response carries the best-so-far partial result with "interrupted": true.
 //
 // The service exposes exactly the public API of package dcs; see README.md
 // for curl examples and cmd/dcsd for the binary.
@@ -145,22 +159,59 @@ type SnapshotRef struct {
 
 // DCSResponse is the body returned by POST /v1/dcs.
 type DCSResponse struct {
-	Measure   string         `json:"measure"`
-	G1        SnapshotRef    `json:"g1"`
-	G2        SnapshotRef    `json:"g2"`
-	Alpha     float64        `json:"alpha,omitempty"`
-	Results   []SubgraphJSON `json:"results,omitempty"`
-	Ratio     *RatioJSON     `json:"ratio,omitempty"`
-	ElapsedMS float64        `json:"elapsed_ms"`
+	Measure string      `json:"measure"`
+	G1      SnapshotRef `json:"g1"`
+	G2      SnapshotRef `json:"g2"`
+	Alpha   float64     `json:"alpha,omitempty"`
+	// Interrupted reports that the solve was cut short — the SolveTimeout
+	// expired or the job was cancelled mid-run — and the fields below carry
+	// the solver's best-so-far partial result instead of the full answer.
+	Interrupted bool           `json:"interrupted,omitempty"`
+	Results     []SubgraphJSON `json:"results,omitempty"`
+	Ratio       *RatioJSON     `json:"ratio,omitempty"`
+	ElapsedMS   float64        `json:"elapsed_ms"`
 }
 
 // TopicsResponse is the body returned by GET /v1/topics.
 type TopicsResponse struct {
-	G1        SnapshotRef    `json:"g1"`
-	G2        SnapshotRef    `json:"g2"`
-	Direction string         `json:"direction"`
-	Topics    []SubgraphJSON `json:"topics"`
-	ElapsedMS float64        `json:"elapsed_ms"`
+	G1        SnapshotRef `json:"g1"`
+	G2        SnapshotRef `json:"g2"`
+	Direction string      `json:"direction"`
+	// Interrupted reports a partial topic list (SolveTimeout expired).
+	Interrupted bool           `json:"interrupted,omitempty"`
+	Topics      []SubgraphJSON `json:"topics"`
+	ElapsedMS   float64        `json:"elapsed_ms"`
+}
+
+// JobInfo describes one asynchronous mining job. POST /v1/jobs returns the
+// fresh job (status "queued"); GET /v1/jobs/{id} returns the current state,
+// including the result once the job is done or cancelled mid-run.
+type JobInfo struct {
+	ID string `json:"id"`
+	// Status is queued | running | done | cancelled | failed.
+	Status     string     `json:"status"`
+	Measure    string     `json:"measure"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is present once the job finished; a job cancelled mid-run keeps
+	// its best-so-far partial result with Result.Interrupted set.
+	Result *DCSResponse `json:"result,omitempty"`
+}
+
+// JobStats summarizes the job registry for /healthz.
+type JobStats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+	// Retained counts the finished jobs currently kept for polling (bounded
+	// by Config.JobRetention; Done/Cancelled/Failed keep counting evicted
+	// ones).
+	Retained int `json:"retained"`
 }
 
 // HealthResponse is the body returned by GET /healthz.
@@ -168,9 +219,12 @@ type HealthResponse struct {
 	Status    string  `json:"status"`
 	Snapshots int     `json:"snapshots"`
 	InFlight  int     `json:"in_flight"`
+	Waiting   int     `json:"waiting"`
 	UptimeSec float64 `json:"uptime_sec"`
 	// DiffCache reports the difference-graph cache counters.
 	DiffCache CacheStats `json:"diff_cache"`
+	// Jobs reports the async job registry counters.
+	Jobs JobStats `json:"jobs"`
 }
 
 // ErrorResponse carries any non-2xx body.
