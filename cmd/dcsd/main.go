@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-cache 64]
-//	     [-timeout 0] [-maxqueue 0] [-jobs 256]
+//	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64]
 //	     [-load name=graph.tsv ...]
 //
 // Each -load flag (repeatable) preloads a TSV edge list (see internal/dataio
@@ -19,6 +19,11 @@
 // partial result with "interrupted": true. Long solves are better submitted
 // through the async job API (POST /v1/jobs, GET/DELETE /v1/jobs/{id}), whose
 // retention is bounded by -jobs.
+//
+// -watches bounds the streaming anomaly watches (POST /v1/watches, the
+// EWMA-expectation trackers of package evolve served over HTTP); 0 disables
+// registration. See cmd/dcswatch for a client that drives a synthetic stream
+// end-to-end.
 package main
 
 import (
@@ -48,11 +53,18 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 0,
 		"max requests waiting for a worker slot / active jobs (0 = unlimited)")
 	jobs := flag.Int("jobs", 256, "finished async jobs retained for polling")
+	watches := flag.Int("watches", 64,
+		"max registered streaming watches (0 disables registration)")
 	var loads []string
 	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
+		}
+		// '/' in a name would make the snapshot unreachable for
+		// DELETE /v1/snapshots/{name} — a preload-only permanent leak.
+		if strings.Contains(name, "/") {
+			return fmt.Errorf("snapshot name %q must not contain '/'", name)
 		}
 		loads = append(loads, v)
 		return nil
@@ -71,6 +83,10 @@ func main() {
 	if cacheSize <= 0 {
 		cacheSize = -1 // Config convention: 0 means "default", negative disables
 	}
+	maxWatches := *watches
+	if maxWatches <= 0 {
+		maxWatches = -1 // same convention as -cache
+	}
 	// No srv.Close() here: main only ever exits through log.Fatal (which
 	// skips defers) and process death reclaims everything; Close exists for
 	// embedders that outlive their Server.
@@ -81,6 +97,7 @@ func main() {
 		SolveTimeout:  *timeout,
 		MaxQueue:      *maxQueue,
 		JobRetention:  *jobs,
+		MaxWatches:    maxWatches,
 	})
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")

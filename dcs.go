@@ -88,6 +88,18 @@ func DifferenceAlpha(g1, g2 *Graph, alpha float64) *Graph {
 	return graph.DifferenceAlpha(g1, g2, alpha)
 }
 
+// ApplyDelta returns the graph obtained from base by applying an edge-delta
+// list: each entry sets the weight of edge (U, V) to W, with W = 0 removing
+// the edge; the last entry wins when a pair repeats. It is the incremental
+// alternative to rebuilding a snapshot — one linear CSR merge of the sorted
+// delta against base, O(m + d log d + n) for d delta entries — and is how
+// streaming consumers (the dcsd watch API) fold per-tick observations.
+// Invalid entries (self-loops, out-of-range endpoints, non-finite weights)
+// panic, matching Builder.AddEdge.
+func ApplyDelta(base *Graph, delta []Edge) *Graph {
+	return graph.ApplyDelta(base, delta)
+}
+
 // AverageDegreeResult is a DCS under the average-degree measure.
 type AverageDegreeResult = core.ADResult
 

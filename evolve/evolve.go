@@ -5,9 +5,12 @@
 // 2018): emerging traffic hotspot clusters, emerging communities, dark
 // networks.
 //
-//	tr := evolve.New(nSensors, evolve.Config{Lambda: 0.3, MinDensity: 2})
+//	tr, err := evolve.New(nSensors, evolve.Config{Lambda: 0.3, MinDensity: 2})
+//	...
 //	for snapshot := range snapshots {
-//	    if rep := tr.Observe(snapshot); rep.Anomalous() {
+//	    rep, err := tr.Observe(snapshot)
+//	    ...
+//	    if rep.Anomalous() {
 //	        alert(rep.S, rep.Contrast)
 //	    }
 //	}
@@ -15,22 +18,31 @@
 // Persistent structure is absorbed into the expectation within a few steps
 // and stops being reported; genuinely new dense structure surfaces the moment
 // it appears.
+//
+// A Tracker is safe for concurrent use (observations serialize internally),
+// and ObserveCtx supports cooperative cancellation: an expired context stops
+// the mining at its next checkpoint and the report carries the best-so-far
+// partial subgraph with Interrupted set. The dcsd service exposes trackers
+// over HTTP as watches (POST /v1/watches); see package serve.
 package evolve
 
 import (
 	ievolve "github.com/dcslib/dcs/internal/evolve"
 )
 
-// Config tunes a Tracker (decay, report threshold, measure).
+// Config tunes a Tracker (decay, report threshold, measure). New rejects
+// corrupting values — a lambda outside (0, 1] or a non-finite threshold —
+// with a descriptive error; a zero Lambda means the default 0.3.
 type Config = ievolve.Config
 
 // Report is one observation step's finding.
 type Report = ievolve.Report
 
-// Tracker is the streaming state; not safe for concurrent use.
+// Tracker is the streaming state; safe for concurrent use.
 type Tracker = ievolve.Tracker
 
-// New returns a Tracker over n vertices with an empty expectation.
-func New(n int, cfg Config) *Tracker {
+// New returns a Tracker over n vertices with an empty expectation, or an
+// error describing an invalid vertex count or config.
+func New(n int, cfg Config) (*Tracker, error) {
 	return ievolve.New(n, cfg)
 }

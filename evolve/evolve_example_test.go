@@ -31,13 +31,19 @@ func Example() {
 	}
 	// MinDensity 2 also suppresses the cold-start report of the very first
 	// snapshot (everything is "new" against an empty expectation).
-	tr := evolve.New(n, evolve.Config{Lambda: 0.5, MinDensity: 2})
+	tr, err := evolve.New(n, evolve.Config{Lambda: 0.5, MinDensity: 2})
+	if err != nil {
+		panic(err)
+	}
 	for step := 1; step <= 4; step++ {
 		g := steady()
 		if step == 3 {
 			g = anomalous()
 		}
-		rep := tr.Observe(g)
+		rep, err := tr.Observe(g)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("step %d anomalous=%v S=%v\n", step, rep.Anomalous(), rep.S)
 	}
 	// Output:

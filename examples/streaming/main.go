@@ -52,13 +52,19 @@ func main() {
 	}
 
 	const warmup = 2 // everything is "new" against an empty expectation
-	tr := evolve.New(users, evolve.Config{Lambda: 0.4, MinDensity: 4})
+	tr, err := evolve.New(users, evolve.Config{Lambda: 0.4, MinDensity: 4})
+	if err != nil {
+		panic(err)
+	}
 	for step := 1; step <= steps; step++ {
 		var extra func(*dcs.Builder)
 		if step >= 7 {
 			extra = mobEdges
 		}
-		rep := tr.Observe(snapshot(extra))
+		rep, err := tr.Observe(snapshot(extra))
+		if err != nil {
+			panic(err)
+		}
 		status := "steady"
 		switch {
 		case step <= warmup:

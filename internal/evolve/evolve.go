@@ -14,7 +14,10 @@
 package evolve
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/dcslib/dcs/internal/core"
 	"github.com/dcslib/dcs/internal/graph"
@@ -23,10 +26,13 @@ import (
 // Config tunes a Tracker.
 type Config struct {
 	// Lambda is the EWMA decay in (0, 1]: expectation ← (1−λ)·expectation +
-	// λ·observation. Small λ = long memory. Default 0.3.
+	// λ·observation. Small λ = long memory. 0 means the default 0.3; any
+	// other value outside (0, 1] is rejected by New — a negative or > 1
+	// lambda would silently corrupt the expectation.
 	Lambda float64
 	// MinDensity suppresses reports whose density contrast is at or below
 	// this threshold. Default 0 (report any strictly positive contrast).
+	// Must be finite.
 	MinDensity float64
 	// GA selects graph-affinity mining (small positive-clique anomalies)
 	// instead of the default average-degree mining.
@@ -35,11 +41,18 @@ type Config struct {
 	Opt core.GAOptions
 }
 
-func (c Config) withDefaults() Config {
+// validate applies defaults and rejects corrupting values.
+func (c Config) validate() (Config, error) {
 	if c.Lambda == 0 {
 		c.Lambda = 0.3
 	}
-	return c
+	if math.IsNaN(c.Lambda) || c.Lambda < 0 || c.Lambda > 1 {
+		return c, fmt.Errorf("evolve: lambda must be in (0, 1] (0 for the default 0.3), got %v", c.Lambda)
+	}
+	if math.IsNaN(c.MinDensity) || math.IsInf(c.MinDensity, 0) {
+		return c, fmt.Errorf("evolve: min density must be finite, got %v", c.MinDensity)
+	}
+	return c, nil
 }
 
 // Report is one step's anomaly finding.
@@ -48,6 +61,10 @@ type Report struct {
 	S        []int   // anomalous vertex set (empty if nothing above threshold)
 	Contrast float64 // density difference observed − expected
 	Affinity float64 // set when Config.GA
+	// Interrupted reports that the step's mining was cut short by context
+	// cancellation and S is the solver's best-so-far partial answer. The
+	// observation is still folded into the expectation.
+	Interrupted bool
 }
 
 // Anomalous reports whether the step surfaced a subgraph.
@@ -60,50 +77,92 @@ func (r Report) String() string {
 	return fmt.Sprintf("step %d: |S|=%d contrast=%.4g", r.Step, len(r.S), r.Contrast)
 }
 
-// Tracker is the streaming state. Create with New; it is not safe for
-// concurrent use.
+// Tracker is the streaming state. Create with New. A Tracker is safe for
+// concurrent use: observations serialize on an internal mutex, so concurrent
+// Observe calls see a consistent expectation (their step order is whatever
+// order they acquire the lock in).
 type Tracker struct {
-	cfg    Config
-	n      int
+	cfg Config
+	n   int
+
+	mu     sync.Mutex
 	expect *graph.Graph
 	step   int
 }
 
-// New returns a Tracker over n vertices with an empty expectation.
-func New(n int, cfg Config) *Tracker {
-	return &Tracker{cfg: cfg.withDefaults(), n: n, expect: graph.NewBuilder(n).Build()}
+// New returns a Tracker over n vertices with an empty expectation. It
+// rejects a negative vertex count and corrupting config values (lambda
+// outside (0, 1], non-finite thresholds) with a descriptive error.
+func New(n int, cfg Config) (*Tracker, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("evolve: negative vertex count %d", n)
+	}
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, n: n, expect: graph.NewBuilder(n).Build()}, nil
 }
 
-// Expectation returns the current expectation graph (owned by the tracker).
-func (t *Tracker) Expectation() *graph.Graph { return t.expect }
+// N returns the tracker's vertex count.
+func (t *Tracker) N() int { return t.n }
+
+// Expectation returns the current expectation graph. The graph is immutable;
+// a later Observe swaps in a fresh one rather than mutating it.
+func (t *Tracker) Expectation() *graph.Graph {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expect
+}
 
 // Step returns how many observations have been folded in.
-func (t *Tracker) Step() int { return t.step }
+func (t *Tracker) Step() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.step
+}
 
 // Observe mines the DCS of the observation against the current expectation
-// and then updates the expectation. The observation must have the tracker's
-// vertex count.
-func (t *Tracker) Observe(observed *graph.Graph) Report {
-	if observed.N() != t.n {
-		panic(fmt.Sprintf("evolve: observation has %d vertices, tracker has %d", observed.N(), t.n))
+// and then updates the expectation. It returns an error (and leaves the
+// tracker untouched) when the observation's vertex count does not match the
+// tracker's.
+func (t *Tracker) Observe(observed *graph.Graph) (Report, error) {
+	return t.ObserveCtx(context.Background(), observed)
+}
+
+// ObserveCtx is Observe with cooperative cancellation: when ctx is cancelled
+// or its deadline expires, the mining solver stops at its next checkpoint and
+// the report carries its best-so-far partial subgraph with Interrupted set.
+// The observation is folded into the expectation either way — an interrupted
+// mining step must not desynchronize the EWMA from the stream.
+func (t *Tracker) ObserveCtx(ctx context.Context, observed *graph.Graph) (Report, error) {
+	if observed == nil {
+		return Report{}, fmt.Errorf("evolve: nil observation")
 	}
+	if observed.N() != t.n {
+		return Report{}, fmt.Errorf("evolve: observation has %d vertices, tracker has %d", observed.N(), t.n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.step++
 	rep := Report{Step: t.step}
 	gd := graph.Difference(t.expect, observed)
 	if t.cfg.GA {
-		res := core.NewSEA(gd, t.cfg.Opt)
+		res := core.NewSEACtx(ctx, gd, t.cfg.Opt)
+		rep.Interrupted = res.Interrupted
 		if res.Affinity > t.cfg.MinDensity {
 			rep.S = res.S
 			rep.Contrast = res.Density
 			rep.Affinity = res.Affinity
 		}
 	} else {
-		res := core.DCSGreedy(gd)
+		res := core.DCSGreedyCtx(ctx, gd)
+		rep.Interrupted = res.Interrupted
 		if res.Density > t.cfg.MinDensity {
 			rep.S = res.S
 			rep.Contrast = res.Density
 		}
 	}
 	t.expect = graph.Blend(t.expect, observed, 1-t.cfg.Lambda, t.cfg.Lambda)
-	return rep
+	return rep, nil
 }

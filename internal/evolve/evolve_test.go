@@ -1,12 +1,34 @@
 package evolve
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/dcslib/dcs/internal/graph"
 )
+
+// mustNew builds a tracker, failing the test on config errors.
+func mustNew(t *testing.T, n int, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(n, cfg)
+	if err != nil {
+		t.Fatalf("New(%d, %+v): %v", n, cfg, err)
+	}
+	return tr
+}
+
+// observe runs one step, failing the test on errors.
+func observe(t *testing.T, tr *Tracker, g *graph.Graph) Report {
+	t.Helper()
+	rep, err := tr.Observe(g)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	return rep
+}
 
 // baseGraph builds a stable background graph.
 func baseGraph(rng *rand.Rand, n int) *graph.Graph {
@@ -36,18 +58,18 @@ func TestAnomalySurfacesThenAbsorbs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	n := 120
 	base := baseGraph(rng, n)
-	tr := New(n, Config{Lambda: 0.5, MinDensity: 3})
+	tr := mustNew(t, n, Config{Lambda: 0.5, MinDensity: 3})
 
 	// Warm up on the steady state.
 	for i := 0; i < 5; i++ {
-		if rep := tr.Observe(base); i > 1 && rep.Anomalous() {
+		if rep := observe(t, tr, base); i > 1 && rep.Anomalous() {
 			t.Fatalf("steady state flagged at step %d: %v", rep.Step, rep)
 		}
 	}
 	// Inject an anomaly: must surface immediately.
 	members := []int{3, 17, 42, 77}
 	anomalous := withClique(base, members, 20)
-	rep := tr.Observe(anomalous)
+	rep := observe(t, tr, anomalous)
 	if !rep.Anomalous() {
 		t.Fatal("injected clique not detected")
 	}
@@ -64,7 +86,7 @@ func TestAnomalySurfacesThenAbsorbs(t *testing.T) {
 	// and the contrast fades below threshold.
 	absorbed := false
 	for i := 0; i < 10; i++ {
-		if rep := tr.Observe(anomalous); !rep.Anomalous() {
+		if rep := observe(t, tr, anomalous); !rep.Anomalous() {
 			absorbed = true
 			break
 		}
@@ -78,9 +100,9 @@ func TestExpectationConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	n := 50
 	base := baseGraph(rng, n)
-	tr := New(n, Config{Lambda: 0.5})
+	tr := mustNew(t, n, Config{Lambda: 0.5})
 	for i := 0; i < 20; i++ {
-		tr.Observe(base)
+		observe(t, tr, base)
 	}
 	// Expectation ≈ base: total weights converge.
 	if math.Abs(tr.Expectation().TotalWeight()-base.TotalWeight()) > 1e-3*math.Abs(base.TotalWeight()) {
@@ -96,12 +118,12 @@ func TestGAModeFindsClique(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	n := 80
 	base := baseGraph(rng, n)
-	tr := New(n, Config{Lambda: 0.5, GA: true, MinDensity: 1})
+	tr := mustNew(t, n, Config{Lambda: 0.5, GA: true, MinDensity: 1})
 	for i := 0; i < 4; i++ {
-		tr.Observe(base)
+		observe(t, tr, base)
 	}
 	members := []int{5, 6, 7}
-	rep := tr.Observe(withClique(base, members, 30))
+	rep := observe(t, tr, withClique(base, members, 30))
 	if !rep.Anomalous() {
 		t.Fatal("GA mode missed the planted clique")
 	}
@@ -115,13 +137,88 @@ func TestGAModeFindsClique(t *testing.T) {
 	}
 }
 
-func TestObservePanicsOnSizeMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestNewRejectsCorruptingConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative lambda":    {Lambda: -0.1},
+		"lambda above one":   {Lambda: 1.5},
+		"NaN lambda":         {Lambda: math.NaN()},
+		"NaN min density":    {MinDensity: math.NaN()},
+		"infinite threshold": {MinDensity: math.Inf(1)},
+	} {
+		if _, err := New(10, cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", name, cfg)
 		}
-	}()
-	New(5, Config{}).Observe(graph.NewBuilder(4).Build())
+	}
+	if _, err := New(-1, Config{}); err == nil {
+		t.Error("negative vertex count accepted")
+	}
+	// Zero lambda means the documented default, boundary values are legal.
+	for _, l := range []float64{0, 1, 0.001} {
+		if _, err := New(10, Config{Lambda: l}); err != nil {
+			t.Errorf("lambda %v rejected: %v", l, err)
+		}
+	}
+}
+
+func TestObserveErrorsOnSizeMismatch(t *testing.T) {
+	tr := mustNew(t, 5, Config{})
+	if _, err := tr.Observe(graph.NewBuilder(4).Build()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := tr.Observe(nil); err == nil {
+		t.Fatal("nil observation accepted")
+	}
+	// The failed observation must leave the tracker untouched.
+	if tr.Step() != 0 {
+		t.Fatalf("failed observe advanced step to %d", tr.Step())
+	}
+}
+
+func TestObserveCtxInterrupts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	tr := mustNew(t, n, Config{Lambda: 0.5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done: the solver stops at its first checkpoint
+	rep, err := tr.ObserveCtx(ctx, baseGraph(rng, n))
+	if err != nil {
+		t.Fatalf("ObserveCtx: %v", err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("cancelled observe not marked interrupted")
+	}
+	// The observation is folded in regardless.
+	if tr.Step() != 1 || tr.Expectation().M() == 0 {
+		t.Fatal("interrupted observe did not update the expectation")
+	}
+}
+
+// TestConcurrentObserves drives one tracker from many goroutines; run with
+// -race. Observations serialize on the tracker mutex, so the final step
+// count and expectation must reflect every call exactly once.
+func TestConcurrentObserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	base := baseGraph(rng, n)
+	tr := mustNew(t, n, Config{Lambda: 0.5})
+	const workers, rounds = 8, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := tr.Observe(base); err != nil {
+					t.Errorf("Observe: %v", err)
+				}
+				tr.Expectation() // concurrent reads race-check the swap
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Step() != workers*rounds {
+		t.Fatalf("step = %d, want %d", tr.Step(), workers*rounds)
+	}
 }
 
 func TestReportString(t *testing.T) {

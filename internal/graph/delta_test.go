@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a random graph with signed weights (difference-graph
+// shaped) over n vertices.
+func randomGraph(rng *rand.Rand, n, edges int) *Graph {
+	b := NewBuilder(n)
+	for k := 0; k < edges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, math.Round((rng.Float64()*10-4)*8)/8) // signed, exactly representable
+	}
+	return b.Build()
+}
+
+// applyNaive is the from-scratch oracle: replay the delta over an edge map
+// and rebuild with the Builder.
+func applyNaive(base *Graph, delta []Edge) *Graph {
+	type pair struct{ u, v int }
+	w := map[pair]float64{}
+	base.VisitEdges(func(u, v int, wt float64) { w[pair{u, v}] = wt })
+	for _, e := range delta {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		w[pair{u, v}] = e.W
+	}
+	b := NewBuilder(base.N())
+	for p, wt := range w {
+		b.AddEdge(p.u, p.v, wt)
+	}
+	return b.Build()
+}
+
+// assertSameGraph compares two graphs edge-for-edge, bitwise on the weights.
+func assertSameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("shape mismatch: got n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	ge, we := got.Edges(), want.Edges()
+	for i := range ge {
+		if ge[i].U != we[i].U || ge[i].V != we[i].V ||
+			math.Float64bits(ge[i].W) != math.Float64bits(we[i].W) {
+			t.Fatalf("edge %d: got %+v, want %+v", i, ge[i], we[i])
+		}
+	}
+	if math.Abs(got.TotalWeight()-want.TotalWeight()) > 1e-9 {
+		t.Fatalf("total weight: got %v, want %v", got.TotalWeight(), want.TotalWeight())
+	}
+}
+
+// TestApplyDeltaMatchesRebuild is the property test: on randomized graphs and
+// randomized deltas — additions, removals, reweights, sign flips, duplicate
+// entries — ApplyDelta must be edge-for-edge equal to rebuilding from
+// scratch.
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(40)
+		base := randomGraph(rng, n, rng.Intn(4*n))
+		edges := base.Edges()
+		var delta []Edge
+		for k, kn := 0, rng.Intn(3*n); k < kn; k++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && len(edges) > 0: // remove an existing edge
+				e := edges[rng.Intn(len(edges))]
+				delta = append(delta, Edge{U: e.U, V: e.V, W: 0})
+			case op == 1 && len(edges) > 0: // flip an existing edge's sign
+				e := edges[rng.Intn(len(edges))]
+				delta = append(delta, Edge{U: e.V, V: e.U, W: -e.W})
+			case op == 2 && len(edges) > 0: // reweight an existing edge
+				e := edges[rng.Intn(len(edges))]
+				delta = append(delta, Edge{U: e.U, V: e.V, W: e.W + 1})
+			default: // set an arbitrary (possibly new, possibly duplicate) pair
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				delta = append(delta, Edge{U: u, V: v, W: float64(rng.Intn(9) - 4)})
+			}
+		}
+		got := ApplyDelta(base, delta)
+		want := applyNaive(base, delta)
+		assertSameGraph(t, got, want)
+	}
+}
+
+func TestApplyDeltaBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, -3)
+	base := b.Build()
+
+	// Empty delta: unchanged.
+	if g := ApplyDelta(base, nil); g.M() != 2 || g.Weight(0, 1) != 2 {
+		t.Fatalf("empty delta changed the graph: %+v", g.Edges())
+	}
+	// Set semantics: reweight, remove, add — last entry wins on duplicates.
+	g := ApplyDelta(base, []Edge{
+		{U: 0, V: 1, W: 5},  // reweight
+		{U: 2, V: 1, W: 0},  // remove (reversed endpoint order)
+		{U: 0, V: 3, W: -1}, // add new, then override below
+		{U: 3, V: 0, W: 7},  // duplicate pair: this one wins
+	})
+	if g.M() != 2 || g.Weight(0, 1) != 5 || g.Weight(1, 2) != 0 || g.Weight(0, 3) != 7 {
+		t.Fatalf("unexpected delta result: %+v", g.Edges())
+	}
+	// Removing a non-existent edge is a no-op.
+	if g := ApplyDelta(base, []Edge{{U: 0, V: 3, W: 0}}); g.M() != 2 {
+		t.Fatalf("phantom removal changed the graph: %+v", g.Edges())
+	}
+	// Base is untouched.
+	if base.M() != 2 || base.Weight(0, 1) != 2 {
+		t.Fatalf("base mutated: %+v", base.Edges())
+	}
+}
+
+func TestApplyDeltaOnView(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, -3)
+	b.AddEdge(2, 3, 4)
+	view := b.Build().WithoutVertices([]int{3}) // hides (2,3)
+	g := ApplyDelta(view, []Edge{{U: 0, V: 2, W: 1}})
+	if g.M() != 3 || g.Weight(2, 3) != 0 || g.Weight(0, 2) != 1 {
+		t.Fatalf("delta over a view: %+v", g.Edges())
+	}
+}
+
+func TestApplyDeltaPanics(t *testing.T) {
+	base := NewBuilder(3).Build()
+	for name, bad := range map[string]Edge{
+		"self-loop":    {U: 1, V: 1, W: 2},
+		"out of range": {U: 0, V: 5, W: 2},
+		"NaN weight":   {U: 0, V: 1, W: math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			ApplyDelta(base, []Edge{bad})
+		}()
+	}
+}

@@ -32,16 +32,29 @@ func Blend(g1, g2 *Graph, a, b float64) *Graph {
 
 // merge2 builds the plain CSR graph whose edge weights are f(w1, w2) over the
 // union of the two edge sets, with absent edges contributing weight 0 and
-// zero results dropped. View inputs are compacted first so the row merge
-// below is a plain array walk.
+// zero results dropped. View inputs are compacted first so the row merge is a
+// plain array walk.
 func merge2(g1, g2 *Graph, f func(w1, w2 float64) float64) *Graph {
 	if g1.N() != g2.N() {
 		panic(fmt.Sprintf("graph: combining graphs with different vertex counts %d vs %d", g1.N(), g2.N()))
 	}
 	g1, g2 = g1.Compact(), g2.Compact()
-	n := g1.n
+	return mergeRows(g1.n, len(g1.nbr)+len(g2.nbr), g1.row, g2.row,
+		func(w1, w2 float64, _, _ bool) float64 { return f(w1, w2) })
+}
+
+// mergeRows is the linear-merge machinery behind Difference, Blend and
+// ApplyDelta: it walks two aligned sets of sorted adjacency rows in tandem and
+// builds the plain CSR graph whose edge weights are f(w1, w2, in1, in2) over
+// the union of the two edge sets. Absent entries contribute weight 0 with
+// their presence flag false — the flags let combiners like ApplyDelta treat
+// "present with weight 0" (remove the edge) differently from "absent" (keep
+// the other side's weight). Zero results are dropped. Rows must be sorted by
+// neighbor id with each undirected edge appearing in both endpoint rows;
+// sizeHint bounds the flat output allocation.
+func mergeRows(n, sizeHint int, row1, row2 func(u int) []Neighbor, f func(w1, w2 float64, in1, in2 bool) float64) *Graph {
 	off := make([]int, n+1)
-	nbr := make([]Neighbor, 0, len(g1.nbr)+len(g2.nbr))
+	nbr := make([]Neighbor, 0, sizeHint)
 	m := 0
 	var tw float64
 	emit := func(u, to int, w float64) {
@@ -56,18 +69,18 @@ func merge2(g1, g2 *Graph, f func(w1, w2 float64) float64) *Graph {
 	}
 	for u := 0; u < n; u++ {
 		off[u] = len(nbr)
-		a1, a2 := g1.row(u), g2.row(u)
+		a1, a2 := row1(u), row2(u)
 		i, j := 0, 0
 		for i < len(a1) || j < len(a2) {
 			switch {
 			case j >= len(a2) || (i < len(a1) && a1[i].To < a2[j].To):
-				emit(u, a1[i].To, f(a1[i].W, 0))
+				emit(u, a1[i].To, f(a1[i].W, 0, true, false))
 				i++
 			case i >= len(a1) || a2[j].To < a1[i].To:
-				emit(u, a2[j].To, f(0, a2[j].W))
+				emit(u, a2[j].To, f(0, a2[j].W, false, true))
 				j++
-			default: // same neighbor in both graphs
-				emit(u, a1[i].To, f(a1[i].W, a2[j].W))
+			default: // same neighbor in both row sets
+				emit(u, a1[i].To, f(a1[i].W, a2[j].W, true, true))
 				i++
 				j++
 			}

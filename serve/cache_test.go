@@ -68,7 +68,7 @@ func TestDiffCacheAlphaKeyed(t *testing.T) {
 
 	run := func(alpha float64) DCSResponse {
 		var resp DCSResponse
-		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: alpha}
+		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: &alpha}
 		if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
 			t.Fatalf("alpha=%v: status %d", alpha, code)
 		}
@@ -191,7 +191,7 @@ func TestDiffCacheEviction(t *testing.T) {
 	s := New(Config{DiffCacheSize: 2})
 	upload(t, s)
 	for _, alpha := range []float64{1, 2, 3} {
-		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: alpha}
+		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: &alpha}
 		doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
 	}
 	st := s.DiffCacheStats()
@@ -199,7 +199,7 @@ func TestDiffCacheEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, capacity is 2", st.Len)
 	}
 	// alpha=1 was evicted (LRU): requesting it again misses.
-	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: 1}
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: fp(1)}
 	doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil)
 	if got := s.DiffCacheStats(); got.Misses != 4 || got.Hits != 0 {
 		t.Fatalf("evicted entry served from cache: %+v", got)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	dcs "github.com/dcslib/dcs"
@@ -56,6 +57,14 @@ type Config struct {
 	// evicted id returns 404). Queued and running jobs are never evicted.
 	// Default 256.
 	JobRetention int
+	// MaxWatches bounds how many streaming watches may be registered at
+	// once; a POST /v1/watches beyond it is rejected with 503 until one is
+	// deleted. Each watch pins two O(m) graphs (expectation and last
+	// observation). 0 means the default 64; negative disables registration.
+	MaxWatches int
+	// WatchReports is the default per-watch report-ring capacity; each
+	// watch may override it at registration (capped at 4096). Default 32.
+	WatchReports int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,19 +86,29 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention == 0 {
 		c.JobRetention = 256
 	}
+	if c.MaxWatches == 0 {
+		c.MaxWatches = 64
+	}
+	if c.WatchReports < 1 {
+		c.WatchReports = 32
+	}
+	if c.WatchReports > maxWatchReports {
+		c.WatchReports = maxWatchReports
+	}
 	return c
 }
 
 // Server is the dcsd HTTP service; it implements http.Handler. Construct
 // with New, preload snapshots through Store, and hand it to http.Serve.
 type Server struct {
-	cfg    Config
-	store  *Store
-	pool   *workerPool
-	dcache *diffCache
-	jobs   *jobRegistry
-	mux    *http.ServeMux
-	start  time.Time
+	cfg     Config
+	store   *Store
+	pool    *workerPool
+	dcache  *diffCache
+	jobs    *jobRegistry
+	watches *watchRegistry
+	mux     *http.ServeMux
+	start   time.Time
 }
 
 // New returns a ready Server with an empty snapshot registry.
@@ -105,11 +124,15 @@ func New(cfg Config) *Server {
 	s.store.onReplace = s.dcache.purgeName
 	s.pool = newWorkerPool(s.cfg.PoolSize, s.cfg.MaxQueue)
 	s.jobs = newJobRegistry(s.cfg.JobRetention)
+	s.watches = newWatchRegistry()
 	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("/v1/snapshots/", s.handleSnapshotByName)
 	s.mux.HandleFunc("/v1/dcs", s.handleDCS)
 	s.mux.HandleFunc("/v1/topics", s.handleTopics)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/watches", s.handleWatches)
+	s.mux.HandleFunc("/v1/watches/", s.handleWatchByPath)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -180,6 +203,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: time.Since(s.start).Seconds(),
 		DiffCache: s.dcache.stats(),
 		Jobs:      s.jobs.stats(),
+		Watches:   s.watches.stats(),
 	})
 }
 
@@ -197,6 +221,12 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "snapshot name is required")
 			return
 		}
+		// '/' would make the name unreachable for DELETE /v1/snapshots/{name}
+		// — an undeletable snapshot is a permanent leak.
+		if strings.Contains(req.Name, "/") {
+			writeError(w, http.StatusBadRequest, "snapshot name must not contain '/'")
+			return
+		}
 		if req.GraphJSON.N > s.cfg.MaxVertices {
 			writeError(w, http.StatusBadRequest, "vertex count %d exceeds the server limit %d", req.GraphJSON.N, s.cfg.MaxVertices)
 			return
@@ -210,6 +240,26 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
+}
+
+// handleSnapshotByName serves DELETE /v1/snapshots/{name}: without it a
+// long-running dcsd leaks every graph ever registered. Deleting also purges
+// the name's cached difference graphs through the store's replace hook.
+func (s *Server) handleSnapshotByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/snapshots/")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+		return
+	}
+	if r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "use DELETE")
+		return
+	}
+	if !s.store.Delete(name) {
+		writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 // resolve turns one side of a request (snapshot name or inline graph) into a
@@ -322,10 +372,21 @@ func validateDCSRequest(req *DCSRequest) error {
 	if req.K < 0 {
 		return badRequest("k must be non-negative")
 	}
-	if req.Alpha < 0 || math.IsNaN(req.Alpha) || math.IsInf(req.Alpha, 0) {
+	// Alpha is a pointer so that an explicit 0 (mine GD = G2, no G1
+	// subtraction) is distinguishable from "absent, default to 1".
+	if a := req.Alpha; a != nil && (*a < 0 || math.IsNaN(*a) || math.IsInf(*a, 0)) {
 		return badRequest("alpha must be a non-negative finite number")
 	}
 	return nil
+}
+
+// effectiveAlpha resolves the request's α: absent means 1, an explicit value
+// — including 0 — is honored.
+func effectiveAlpha(req *DCSRequest) float64 {
+	if req.Alpha != nil {
+		return *req.Alpha
+	}
+	return 1
 }
 
 // solve runs one validated mining request against its resolved graphs under
@@ -334,10 +395,7 @@ func validateDCSRequest(req *DCSRequest) error {
 // solver in flight stops at its next checkpoint and the response carries the
 // best-so-far partial result with Interrupted set.
 func (s *Server) solve(ctx context.Context, req *DCSRequest, g1, g2 *dcs.Graph, r1, r2 SnapshotRef) (*DCSResponse, error) {
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = 1
-	}
+	alpha := effectiveAlpha(req)
 	k := req.K
 	if k == 0 {
 		k = 1

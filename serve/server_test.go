@@ -11,6 +11,9 @@ import (
 	"time"
 )
 
+// fp builds the *float64 request fields (Alpha) from a literal.
+func fp(v float64) *float64 { return &v }
+
 // fig1Pair is the running example of the paper's Fig. 1 (also used by the
 // package dcs examples): the contrast subgraph is {0, 2, 3} under both
 // density measures.
@@ -110,6 +113,7 @@ func TestSnapshotErrors(t *testing.T) {
 		want int
 	}{
 		{"missing name", SnapshotRequest{GraphJSON: GraphJSON{N: 2}}, http.StatusBadRequest},
+		{"slash in name", SnapshotRequest{Name: "a/b", GraphJSON: GraphJSON{N: 2}}, http.StatusBadRequest},
 		{"self loop", SnapshotRequest{Name: "x", GraphJSON: GraphJSON{N: 2, Edges: []EdgeJSON{{0, 0, 1}}}}, http.StatusBadRequest},
 		{"out of range", SnapshotRequest{Name: "x", GraphJSON: GraphJSON{N: 2, Edges: []EdgeJSON{{0, 7, 1}}}}, http.StatusBadRequest},
 		{"negative n", SnapshotRequest{Name: "x", GraphJSON: GraphJSON{N: -1}}, http.StatusBadRequest},
@@ -275,7 +279,7 @@ func TestDCSAlphaQuasiContrast(t *testing.T) {
 	g1 := GraphJSON{N: 4, Edges: []EdgeJSON{{0, 1, 2}, {2, 3, 2}}}
 	g2 := GraphJSON{N: 4, Edges: []EdgeJSON{{0, 1, 4}, {2, 3, 3}}}
 	var resp DCSResponse
-	req := DCSRequest{Measure: "avgdeg", Graph1: &g1, Graph2: &g2, Alpha: 1.8}
+	req := DCSRequest{Measure: "avgdeg", Graph1: &g1, Graph2: &g2, Alpha: fp(1.8)}
 	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -285,6 +289,55 @@ func TestDCSAlphaQuasiContrast(t *testing.T) {
 	}
 	if resp.Alpha != 1.8 {
 		t.Fatalf("echoed alpha %v, want 1.8", resp.Alpha)
+	}
+}
+
+// TestDCSAlphaZero is the regression test for the α = 0 decoding bug: an
+// explicit 0 used to be indistinguishable from "absent" and silently ran
+// with α = 1. With α = 0 the difference graph is G2 itself, so a subgraph
+// that shrank from G1 to G2 must still be mined on its G2 strength alone.
+func TestDCSAlphaZero(t *testing.T) {
+	s := New(Config{})
+	// The triangle {0,1,2} is strong in BOTH eras (barely changed); the edge
+	// (3,4) is new. Under α = 1 the contrast is the new edge; under α = 0
+	// (pure G2 density) the triangle wins.
+	g1 := GraphJSON{N: 5, Edges: []EdgeJSON{{0, 1, 10}, {1, 2, 10}, {0, 2, 10}}}
+	g2 := GraphJSON{N: 5, Edges: []EdgeJSON{{0, 1, 10}, {1, 2, 10}, {0, 2, 10}, {3, 4, 3}}}
+
+	run := func(alpha *float64) DCSResponse {
+		var resp DCSResponse
+		req := DCSRequest{Measure: "avgdeg", Graph1: &g1, Graph2: &g2, Alpha: alpha}
+		if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
+			t.Fatalf("alpha=%v: status %d", alpha, code)
+		}
+		return resp
+	}
+
+	dflt := run(nil)
+	if len(dflt.Results) != 1 || len(dflt.Results[0].S) != 2 || dflt.Results[0].S[0] != 3 {
+		t.Fatalf("default alpha: S = %+v, want the new edge {3,4}", dflt.Results)
+	}
+	if dflt.Alpha != 1 {
+		t.Fatalf("absent alpha echoed as %v, want the default 1", dflt.Alpha)
+	}
+
+	zero := run(fp(0))
+	if len(zero.Results) != 1 {
+		t.Fatalf("alpha=0: got %d results", len(zero.Results))
+	}
+	r := zero.Results[0]
+	if len(r.S) != 3 || r.S[0] != 0 || r.S[1] != 1 || r.S[2] != 2 {
+		t.Fatalf("alpha=0: S = %v, want the G2-dense triangle [0 1 2] (alpha silently defaulted to 1?)", r.S)
+	}
+	// Density on GD = G2: the triangle's average degree 2·30/3 = 20.
+	if math.Abs(r.Density-20) > 1e-9 {
+		t.Fatalf("alpha=0 density %v, want 20 (pure G2 difference graph)", r.Density)
+	}
+
+	// Explicit negative alpha still rejected.
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs",
+		DCSRequest{Measure: "avgdeg", Graph1: &g1, Graph2: &g2, Alpha: fp(-1)}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative alpha: status %d, want 400", code)
 	}
 }
 
@@ -322,7 +375,7 @@ func TestDCSErrors(t *testing.T) {
 		{"both name and inline", DCSRequest{Measure: "avgdeg", G1: "old", Graph1: &g1, G2: "new"}, http.StatusBadRequest},
 		{"mismatched n", DCSRequest{Measure: "avgdeg", G1: "old", Graph2: &small}, http.StatusBadRequest},
 		{"negative k", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", K: -1}, http.StatusBadRequest},
-		{"negative alpha", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: -2}, http.StatusBadRequest},
+		{"negative alpha", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Alpha: fp(-2)}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		if code := doJSON(t, s, http.MethodPost, "/v1/dcs", c.req, nil); code != c.want {

@@ -37,6 +37,12 @@ func (s *Snapshot) Info() SnapshotInfo {
 type Store struct {
 	mu    sync.RWMutex
 	snaps map[string]*Snapshot
+	// lastVersion remembers the newest version ever assigned to a name and
+	// survives Delete: a name deleted and re-created must NOT restart at
+	// version 1, or the diff cache's (name, version) identity is reused by a
+	// different graph — an in-flight build against the old graph could then
+	// pass the put-veto's currency check and pin a stale difference (ABA).
+	lastVersion map[string]int
 	// onReplace, when set, is called (outside the store lock) after a name's
 	// version is bumped. The Server wires it to the difference-graph cache's
 	// purge, so replacements through any path — the HTTP handler or an
@@ -46,17 +52,18 @@ type Store struct {
 
 // NewStore returns an empty registry.
 func NewStore() *Store {
-	return &Store{snaps: make(map[string]*Snapshot)}
+	return &Store{snaps: make(map[string]*Snapshot), lastVersion: make(map[string]int)}
 }
 
 // Put registers g under name, replacing any previous version, and returns
-// the stored snapshot's info.
+// the stored snapshot's info. Versions are monotonic per name even across
+// Delete (see lastVersion). Names containing '/' cannot be addressed by
+// DELETE /v1/snapshots/{name}; the HTTP upload path and dcsd -load reject
+// them, and embedders calling Put directly should too.
 func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
 	st.mu.Lock()
-	version := 1
-	if prev, ok := st.snaps[name]; ok {
-		version = prev.Version + 1
-	}
+	version := st.lastVersion[name] + 1
+	st.lastVersion[name] = version
 	s := &Snapshot{Name: name, Version: version, Graph: g, UpdatedAt: time.Now()}
 	st.snaps[name] = s
 	info := s.Info()
@@ -70,6 +77,28 @@ func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
 		onReplace(name)
 	}
 	return info
+}
+
+// Delete removes the named snapshot, reporting whether it was registered.
+// Readers that already resolved the snapshot keep computing against it (the
+// graph is immutable); the onReplace hook fires so its cached difference
+// graphs are purged rather than pinned until LRU eviction — the same
+// commit-then-purge ordering as Put, so the cache's put-veto protocol holds
+// (snapshotCurrent is false the moment the delete commits). The name's
+// version counter is retained, so a later re-creation continues the version
+// sequence instead of minting a second "version 1" with different edges.
+func (st *Store) Delete(name string) bool {
+	st.mu.Lock()
+	_, ok := st.snaps[name]
+	if ok {
+		delete(st.snaps, name)
+	}
+	onReplace := st.onReplace
+	st.mu.Unlock()
+	if ok && onReplace != nil {
+		onReplace(name)
+	}
+	return ok
 }
 
 // Get resolves a name to its current snapshot.

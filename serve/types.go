@@ -8,6 +8,8 @@
 //
 //	POST /v1/snapshots   upload or replace a named weighted graph
 //	GET  /v1/snapshots   list the registered snapshots
+//	DELETE /v1/snapshots/{name}  remove a snapshot and purge its cached
+//	                     difference graphs (404 on an unknown name)
 //	POST /v1/dcs         mine one contrast: measure avgdeg | affinity |
 //	                     totalweight | ratio, against two named snapshots or
 //	                     inline edge lists, optional top-k and alpha
@@ -21,8 +23,18 @@
 //	DELETE /v1/jobs/{id} cancel a queued or running job; a running solver
 //	                     stops within one checkpoint interval and its
 //	                     best-so-far partial result is kept
+//	POST /v1/watches     register a named streaming anomaly watch: an EWMA
+//	                     expectation tracker (package evolve) served over
+//	                     HTTP; GET lists, DELETE /v1/watches/{name} removes
+//	POST /v1/watches/{name}/observe  feed one stream tick — a full snapshot
+//	                     or an edge-delta list against the previous
+//	                     observation — mine the DCS of the observation vs
+//	                     the maintained expectation, fold it in, and return
+//	                     (plus retain) the anomaly report
+//	GET  /v1/watches/{name}/reports  the watch's bounded ring of recent
+//	                     reports, oldest first
 //	GET  /healthz        liveness, snapshot count, in-flight and queued
-//	                     counts, job statistics
+//	                     counts, job and watch statistics
 //
 // Mining runs under the request's context plus the configured SolveTimeout:
 // a client disconnect or an expired deadline interrupts the solver at its
@@ -113,9 +125,10 @@ type DCSRequest struct {
 	// 0 or 1 means the single best.
 	K int `json:"k,omitempty"`
 	// Alpha generalizes the difference graph to GD = G2 − α·G1 (the
-	// α-quasi-contrast of Section III-D). 0 or absent means 1. Ignored by
+	// α-quasi-contrast of Section III-D). Absent means 1; an explicit 0 is
+	// honored and mines the pure G2 difference graph (GD = G2). Ignored by
 	// measure "ratio", which searches for the best α itself.
-	Alpha float64 `json:"alpha,omitempty"`
+	Alpha *float64 `json:"alpha,omitempty"`
 }
 
 // SubgraphJSON is one mined contrast subgraph.
@@ -214,6 +227,90 @@ type JobStats struct {
 	Retained int `json:"retained"`
 }
 
+// WatchRequest is the body of POST /v1/watches: it registers a named
+// streaming anomaly watch (an EWMA tracker served over HTTP).
+type WatchRequest struct {
+	Name string `json:"name"`
+	// N is the fixed vertex count every observation must match.
+	N int `json:"n"`
+	// Lambda is the EWMA decay in (0, 1]; 0 means the default 0.3.
+	Lambda float64 `json:"lambda,omitempty"`
+	// Measure selects the mining objective per observation: "avgdeg"
+	// (default) or "affinity" (small positive-clique anomalies).
+	Measure string `json:"measure,omitempty"`
+	// MinDensity suppresses reports whose contrast is at or below it.
+	MinDensity float64 `json:"min_density,omitempty"`
+	// SolveTimeoutMS bounds one observation's mining compute; an expired
+	// solve reports its best-so-far partial subgraph with "interrupted".
+	// 0 falls back to the server's -timeout. When both are set the smaller
+	// wins.
+	SolveTimeoutMS float64 `json:"solve_timeout_ms,omitempty"`
+	// Reports overrides the per-watch report-ring capacity
+	// (Config.WatchReports); 0 means the server default.
+	Reports int `json:"reports,omitempty"`
+}
+
+// WatchInfo describes one registered watch.
+type WatchInfo struct {
+	Name           string    `json:"name"`
+	N              int       `json:"n"`
+	Lambda         float64   `json:"lambda"`
+	Measure        string    `json:"measure"`
+	MinDensity     float64   `json:"min_density"`
+	SolveTimeoutMS float64   `json:"solve_timeout_ms,omitempty"`
+	ReportCap      int       `json:"report_cap"`
+	Step           int       `json:"step"`
+	Anomalies      int       `json:"anomalies"`
+	CreatedAt      time.Time `json:"created_at"`
+	// LastObserved is the wall time of the newest observation, if any.
+	LastObserved *time.Time `json:"last_observed,omitempty"`
+}
+
+// WatchObserveRequest is the body of POST /v1/watches/{name}/observe: one
+// stream tick, either a full snapshot or an edge-delta list against the
+// previous observation (each delta entry sets edge (u,v) to w; w = 0 removes
+// it; the first observation's delta base is the empty graph).
+type WatchObserveRequest struct {
+	Graph *GraphJSON `json:"graph,omitempty"`
+	Delta []EdgeJSON `json:"delta,omitempty"`
+}
+
+// WatchReport is one observation's anomaly finding, returned by the observe
+// call and retained in the watch's bounded report ring.
+type WatchReport struct {
+	Step      int  `json:"step"`
+	Anomalous bool `json:"anomalous"`
+	// S is the anomalous vertex set (empty when nothing exceeded the
+	// watch's min density).
+	S []int `json:"s,omitempty"`
+	// Contrast is the density difference observed − expected.
+	Contrast float64 `json:"contrast,omitempty"`
+	// Affinity is set for measure "affinity".
+	Affinity float64 `json:"affinity,omitempty"`
+	// Interrupted reports that the mining was cut short (solve timeout or
+	// client disconnect) and S is the best-so-far partial answer; the
+	// observation was still folded into the expectation.
+	Interrupted bool      `json:"interrupted,omitempty"`
+	ObservedAt  time.Time `json:"observed_at"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+}
+
+// WatchReportsResponse is the body of GET /v1/watches/{name}/reports.
+type WatchReportsResponse struct {
+	Name string `json:"name"`
+	Step int    `json:"step"`
+	// Reports is the retained tail of the bounded ring, oldest first.
+	Reports []WatchReport `json:"reports"`
+}
+
+// WatchStats summarizes the watch registry for /healthz. Observations and
+// Anomalies are cumulative and keep counting deleted watches.
+type WatchStats struct {
+	Count        int `json:"count"`
+	Observations int `json:"observations"`
+	Anomalies    int `json:"anomalies"`
+}
+
 // HealthResponse is the body returned by GET /healthz.
 type HealthResponse struct {
 	Status    string  `json:"status"`
@@ -225,6 +322,8 @@ type HealthResponse struct {
 	DiffCache CacheStats `json:"diff_cache"`
 	// Jobs reports the async job registry counters.
 	Jobs JobStats `json:"jobs"`
+	// Watches reports the streaming watch registry counters.
+	Watches WatchStats `json:"watches"`
 }
 
 // ErrorResponse carries any non-2xx body.

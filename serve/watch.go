@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	dcs "github.com/dcslib/dcs"
+	"github.com/dcslib/dcs/evolve"
+)
+
+// maxWatchReports caps any report ring: a watch cannot be registered with an
+// unbounded (or absurd) retention demand.
+const maxWatchReports = 4096
+
+// maxSolveTimeoutMS caps a watch's per-observation solve budget (~31 years).
+// Beyond roughly 9.2e12 ms the float64→time.Duration conversion would
+// overflow int64 and silently disable the timeout.
+const maxSolveTimeoutMS = 1e12
+
+// watch is one registered streaming anomaly watch: an evolve.Tracker plus
+// the delta base (the previous observation) and a bounded ring of recent
+// reports. Two locks split hot from slow: obsMu serializes observations —
+// the tracker's EWMA fold and the delta base must advance in lockstep, so it
+// is held across the whole (possibly long) mining solve — while mu guards
+// only the cheap read state (step, ring, counters), so GET /v1/watches and
+// GET .../reports answer instantly even while an observe is mining.
+// Different watches observe concurrently, each on its own pool slot.
+type watch struct {
+	name         string
+	n            int
+	lambda       float64
+	measure      string
+	minDensity   float64
+	solveTimeout time.Duration
+	ringCap      int
+	created      time.Time
+
+	// obsMu serializes observes; it alone guards tracker and last. Nothing
+	// that might hold it reaches for mu's state except through the
+	// short-held mu section at the end of an observe (obsMu → mu, never the
+	// reverse).
+	obsMu   sync.Mutex
+	tracker *evolve.Tracker
+	last    *dcs.Graph // previous observation, the ApplyDelta base
+
+	// mu guards the observation results; held only for O(ring) copies. The
+	// step count is mirrored here rather than read from the tracker, whose
+	// internal mutex is busy for the duration of a mining solve.
+	mu        sync.Mutex
+	step      int
+	reports   []WatchReport // circular once full; oldest at head
+	head      int           // index of the oldest report when the ring is full
+	anomalies int
+	lastSeen  time.Time
+}
+
+func (w *watch) info() WatchInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	info := WatchInfo{
+		Name:           w.name,
+		N:              w.n,
+		Lambda:         w.lambda,
+		Measure:        w.measure,
+		MinDensity:     w.minDensity,
+		SolveTimeoutMS: float64(w.solveTimeout) / float64(time.Millisecond),
+		ReportCap:      w.ringCap,
+		Step:           w.step,
+		Anomalies:      w.anomalies,
+		CreatedAt:      w.created,
+	}
+	if !w.lastSeen.IsZero() {
+		t := w.lastSeen
+		info.LastObserved = &t
+	}
+	return info
+}
+
+// watchRegistry tracks the registered watches. The cumulative observation
+// and anomaly counters keep counting deleted watches, mirroring jobRegistry.
+type watchRegistry struct {
+	mu           sync.Mutex
+	watches      map[string]*watch
+	observations int
+	anomalies    int
+}
+
+func newWatchRegistry() *watchRegistry {
+	return &watchRegistry{watches: make(map[string]*watch)}
+}
+
+// admissible reports (under the lock the caller holds) why a registration of
+// name would be refused: registration disabled, duplicate name, or registry
+// full.
+func (reg *watchRegistry) admissible(name string, maxWatches int) *httpError {
+	if maxWatches < 0 {
+		return &httpError{status: http.StatusServiceUnavailable,
+			msg: "watch registration is disabled on this server"}
+	}
+	if _, ok := reg.watches[name]; ok {
+		return &httpError{status: http.StatusConflict,
+			msg: "watch " + name + " already exists (delete it first to reconfigure)"}
+	}
+	if len(reg.watches) >= maxWatches {
+		return &httpError{status: http.StatusServiceUnavailable,
+			msg: "watch limit reached; delete a watch first"}
+	}
+	return nil
+}
+
+// precheck cheaply rejects a registration that add would refuse, so the
+// caller does not build the tracker's O(n) state for a request the registry
+// will bounce. add re-checks authoritatively at insert time.
+func (reg *watchRegistry) precheck(name string, maxWatches int) *httpError {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.admissible(name, maxWatches)
+}
+
+// add registers a fresh watch. It fails when the name is taken (conflict) or
+// the registry is full (maxWatches > 0; negative disables registration).
+func (reg *watchRegistry) add(w *watch, maxWatches int) *httpError {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if herr := reg.admissible(w.name, maxWatches); herr != nil {
+		return herr
+	}
+	reg.watches[w.name] = w
+	return nil
+}
+
+func (reg *watchRegistry) get(name string) (*watch, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	w, ok := reg.watches[name]
+	return w, ok
+}
+
+// remove deletes the named watch, reporting whether it existed. An observe
+// in flight on the removed watch completes against its own reference; the
+// watch's graphs are freed once that returns.
+func (reg *watchRegistry) remove(name string) bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	_, ok := reg.watches[name]
+	delete(reg.watches, name)
+	return ok
+}
+
+// recordObservation bumps the cumulative counters.
+func (reg *watchRegistry) recordObservation(anomalous bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.observations++
+	if anomalous {
+		reg.anomalies++
+	}
+}
+
+func (reg *watchRegistry) list() []WatchInfo {
+	reg.mu.Lock()
+	ws := make([]*watch, 0, len(reg.watches))
+	for _, w := range reg.watches {
+		ws = append(ws, w)
+	}
+	reg.mu.Unlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].name < ws[j].name })
+	infos := make([]WatchInfo, 0, len(ws))
+	for _, w := range ws {
+		infos = append(infos, w.info())
+	}
+	return infos
+}
+
+func (reg *watchRegistry) stats() WatchStats {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return WatchStats{
+		Count:        len(reg.watches),
+		Observations: reg.observations,
+		Anomalies:    reg.anomalies,
+	}
+}
+
+// DeltaBetween expresses cur as a set-semantics edge delta against prev,
+// ready for POST /v1/watches/{name}/observe: changed or new edges carry
+// their new weight, vanished edges carry 0 (the removal marker). Duplicate
+// entries within either graph sum first (Builder semantics), so feeding the
+// returned delta is equivalent to feeding cur as a full snapshot. This is
+// the client-side encoder watch clients (cmd/dcswatch, the tests) share —
+// the server merges the delta with dcs.ApplyDelta.
+func DeltaBetween(prev, cur GraphJSON) []EdgeJSON {
+	type pair struct{ u, v int }
+	index := func(g GraphJSON) map[pair]float64 {
+		m := make(map[pair]float64, len(g.Edges))
+		for _, e := range g.Edges {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			m[pair{u, v}] += e.W
+		}
+		return m
+	}
+	pw, cw := index(prev), index(cur)
+	delta := make([]EdgeJSON, 0)
+	for p, w := range cw {
+		if old, ok := pw[p]; !ok || old != w {
+			delta = append(delta, EdgeJSON{U: p.u, V: p.v, W: w})
+		}
+	}
+	for p := range pw {
+		if _, ok := cw[p]; !ok {
+			delta = append(delta, EdgeJSON{U: p.u, V: p.v, W: 0})
+		}
+	}
+	return delta
+}
+
+// registerWatch validates one WatchRequest and builds the watch.
+func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
+	if req.Name == "" {
+		return nil, badRequest("watch name is required")
+	}
+	if strings.Contains(req.Name, "/") {
+		return nil, badRequest("watch name must not contain '/'")
+	}
+	if req.N < 1 {
+		return nil, badRequest("vertex count must be positive, got %d", req.N)
+	}
+	if req.N > s.cfg.MaxVertices {
+		return nil, badRequest("vertex count %d exceeds the server limit %d", req.N, s.cfg.MaxVertices)
+	}
+	measure := req.Measure
+	if measure == "" {
+		measure = "avgdeg"
+	}
+	if measure != "avgdeg" && measure != "affinity" {
+		return nil, badRequest("unknown watch measure %q: want avgdeg | affinity", measure)
+	}
+	if req.SolveTimeoutMS < 0 || req.SolveTimeoutMS > maxSolveTimeoutMS || math.IsNaN(req.SolveTimeoutMS) {
+		return nil, badRequest("solve_timeout_ms must be in [0, %g]", float64(maxSolveTimeoutMS))
+	}
+	ringCap := req.Reports
+	switch {
+	case ringCap == 0:
+		ringCap = s.cfg.WatchReports
+	case ringCap < 0 || ringCap > maxWatchReports:
+		return nil, badRequest("reports must be in [1, %d]", maxWatchReports)
+	}
+	// Cheap registry check before allocating the tracker's O(n) state; add
+	// below re-checks under the same lock against concurrent registrations.
+	if herr := s.watches.precheck(req.Name, s.cfg.MaxWatches); herr != nil {
+		return nil, herr
+	}
+	tracker, err := evolve.New(req.N, evolve.Config{
+		Lambda:     req.Lambda,
+		MinDensity: req.MinDensity,
+		GA:         measure == "affinity",
+		Opt:        *s.options(),
+	})
+	if err != nil {
+		return nil, badRequest("%s", err)
+	}
+	w := &watch{
+		name:         req.Name,
+		n:            req.N,
+		lambda:       req.Lambda,
+		measure:      measure,
+		minDensity:   req.MinDensity,
+		solveTimeout: time.Duration(req.SolveTimeoutMS * float64(time.Millisecond)),
+		ringCap:      ringCap,
+		created:      time.Now(),
+		tracker:      tracker,
+		last:         dcs.NewBuilder(req.N).Build(), // delta base before the first tick
+	}
+	if w.lambda == 0 {
+		w.lambda = 0.3 // echo the applied default in infos
+	}
+	if herr := s.watches.add(w, s.cfg.MaxWatches); herr != nil {
+		return nil, herr
+	}
+	return w, nil
+}
+
+// observationGraph turns one observe body into the observed graph. Full
+// snapshots build outside the watch lock; deltas only validate here — the
+// merge against the previous observation must run under the lock, so the
+// validated edge list is returned instead.
+func (s *Server) observationGraph(w *watch, req *WatchObserveRequest) (*dcs.Graph, []dcs.Edge, *httpError) {
+	switch {
+	case req.Graph != nil && req.Delta != nil:
+		return nil, nil, badRequest("give a full graph or a delta, not both")
+	case req.Graph != nil:
+		if req.Graph.N != w.n {
+			return nil, nil, badRequest("snapshot has %d vertices, watch %q has %d", req.Graph.N, w.name, w.n)
+		}
+		g, err := req.Graph.Build()
+		if err != nil {
+			return nil, nil, badRequest("bad graph: %s", err)
+		}
+		return g, nil, nil
+	case req.Delta != nil:
+		edges := make([]dcs.Edge, 0, len(req.Delta))
+		for i, e := range req.Delta {
+			if e.U < 0 || e.U >= w.n || e.V < 0 || e.V >= w.n {
+				return nil, nil, badRequest("delta %d: (%d,%d) out of range [0,%d)", i, e.U, e.V, w.n)
+			}
+			if e.U == e.V {
+				return nil, nil, badRequest("delta %d: self-loop on vertex %d", i, e.U)
+			}
+			if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+				return nil, nil, badRequest("delta %d: non-finite weight", i)
+			}
+			edges = append(edges, dcs.Edge{U: e.U, V: e.V, W: e.W})
+		}
+		return nil, edges, nil
+	default:
+		return nil, nil, badRequest("missing observation: give a full graph or a delta (an empty delta list means no change)")
+	}
+}
+
+// watchSolveCtx derives the context one observation mines under: the
+// request's own context bounded by the watch's solve timeout and the
+// server's, whichever is smaller.
+func (s *Server) watchSolveCtx(r *http.Request, w *watch) (context.Context, context.CancelFunc) {
+	eff := s.cfg.SolveTimeout
+	if w.solveTimeout > 0 && (eff == 0 || w.solveTimeout < eff) {
+		eff = w.solveTimeout
+	}
+	if eff > 0 {
+		return context.WithTimeout(r.Context(), eff)
+	}
+	return r.Context(), func() {}
+}
+
+// handleWatches serves POST /v1/watches (register) and GET /v1/watches
+// (list).
+func (s *Server) handleWatches(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.watches.list())
+	case http.MethodPost:
+		var req WatchRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		wt, herr := s.registerWatch(&req)
+		if herr != nil {
+			writeHTTPError(w, herr)
+			return
+		}
+		writeJSON(w, http.StatusOK, wt.info())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleWatchByPath routes /v1/watches/{name}[/observe | /reports].
+func (s *Server) handleWatchByPath(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/watches/")
+	name, sub, _ := strings.Cut(rest, "/")
+	if name == "" {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+		return
+	}
+	switch sub {
+	case "":
+		s.handleWatchByName(w, r, name)
+	case "observe":
+		s.handleWatchObserve(w, r, name)
+	case "reports":
+		s.handleWatchReports(w, r, name)
+	default:
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+	}
+}
+
+func (s *Server) handleWatchByName(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodGet:
+		wt, ok := s.watches.get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown watch %q", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, wt.info())
+	case http.MethodDelete:
+		if !s.watches.remove(name) {
+			writeError(w, http.StatusNotFound, "unknown watch %q", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+func (s *Server) handleWatchObserve(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	wt, ok := s.watches.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown watch %q", name)
+		return
+	}
+	var req WatchObserveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	observed, delta, herr := s.observationGraph(wt, &req)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	// Serialize on the watch BEFORE taking a pool slot: ticks queued behind
+	// the previous tick's solve wait slot-free, so one slow stream cannot
+	// pin every pool slot and starve the other endpoints. The lock order is
+	// strictly obsMu → pool; pool-slot holders never wait on an obsMu, so
+	// there is no cycle.
+	wt.obsMu.Lock()
+	defer wt.obsMu.Unlock()
+	release, err := s.admit(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	defer release()
+	// The solve budget starts only now, with the slot and the lock both
+	// held: queueing time must not eat into this observation's mining
+	// compute (same rule as the job runner's post-acquire timeout).
+	ctx, cancel := s.watchSolveCtx(r, wt)
+	defer cancel()
+	started := time.Now()
+	if observed == nil {
+		// The delta base is the previous observation, which only the
+		// observe-lock holder may read — and ApplyDelta never mutates it.
+		observed = dcs.ApplyDelta(wt.last, delta)
+	}
+	rep, err := wt.tracker.ObserveCtx(ctx, observed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	wt.last = observed
+	report := WatchReport{
+		Step:        rep.Step,
+		Anomalous:   rep.Anomalous(),
+		S:           rep.S,
+		Contrast:    rep.Contrast,
+		Affinity:    rep.Affinity,
+		Interrupted: rep.Interrupted,
+		ObservedAt:  time.Now(),
+		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
+	}
+
+	wt.mu.Lock()
+	wt.step = rep.Step
+	wt.lastSeen = report.ObservedAt
+	if report.Anomalous {
+		wt.anomalies++
+	}
+	// Bounded ring, O(1) per tick: once full, the newest report overwrites
+	// the oldest slot and the head advances.
+	if len(wt.reports) < wt.ringCap {
+		wt.reports = append(wt.reports, report)
+	} else {
+		wt.reports[wt.head] = report
+		wt.head = (wt.head + 1) % wt.ringCap
+	}
+	wt.mu.Unlock()
+
+	s.watches.recordObservation(report.Anomalous)
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (s *Server) handleWatchReports(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	wt, ok := s.watches.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown watch %q", name)
+		return
+	}
+	wt.mu.Lock()
+	// Unroll the circular ring oldest-first (head is 0 until it fills).
+	reports := make([]WatchReport, 0, len(wt.reports))
+	reports = append(reports, wt.reports[wt.head:]...)
+	reports = append(reports, wt.reports[:wt.head]...)
+	resp := WatchReportsResponse{
+		Name:    wt.name,
+		Step:    wt.step,
+		Reports: reports,
+	}
+	wt.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

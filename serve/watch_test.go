@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamPair is one edge of a synthetic stream snapshot.
+type streamPair struct{ u, v int }
+
+// watchStream deterministically generates the snapshots of a synthetic
+// stream: a noisy backbone every step, plus a planted heavy clique from step
+// inject onward. Snapshot weights depend only on (seed, step), so two
+// generations of the same stream are identical.
+func watchStream(seed int64, n, steps, inject int, clique []int) []GraphJSON {
+	rng := rand.New(rand.NewSource(seed))
+	var backbone []streamPair
+	for k := 0; k < 3*n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			backbone = append(backbone, streamPair{u, v})
+		}
+	}
+	snaps := make([]GraphJSON, 0, steps)
+	for step := 1; step <= steps; step++ {
+		g := GraphJSON{N: n}
+		seen := map[streamPair]bool{}
+		for _, p := range backbone {
+			u, v := p.u, p.v
+			if u > v {
+				u, v = v, u
+			}
+			if seen[streamPair{u, v}] {
+				continue // Builder would sum duplicates; deltas want set-once pairs
+			}
+			seen[streamPair{u, v}] = true
+			g.Edges = append(g.Edges, EdgeJSON{U: u, V: v, W: 1 + rng.Float64()})
+		}
+		if step >= inject {
+			for i := 0; i < len(clique); i++ {
+				for j := i + 1; j < len(clique); j++ {
+					g.Edges = append(g.Edges, EdgeJSON{U: clique[i], V: clique[j], W: 25})
+				}
+			}
+		}
+		snaps = append(snaps, g)
+	}
+	return snaps
+}
+
+// registerTestWatch registers a watch, failing the test on any error.
+func registerTestWatch(t *testing.T, s *Server, req WatchRequest) WatchInfo {
+	t.Helper()
+	var info WatchInfo
+	if code := doJSON(t, s, http.MethodPost, "/v1/watches", req, &info); code != http.StatusOK {
+		t.Fatalf("register watch %q: status %d", req.Name, code)
+	}
+	return info
+}
+
+// observeWatch feeds one observation, failing the test on any error.
+func observeWatch(t *testing.T, s *Server, name string, body WatchObserveRequest) WatchReport {
+	t.Helper()
+	var rep WatchReport
+	if code := doJSON(t, s, http.MethodPost, "/v1/watches/"+name+"/observe", body, &rep); code != http.StatusOK {
+		t.Fatalf("observe %q: status %d", name, code)
+	}
+	return rep
+}
+
+func TestWatchRegistration(t *testing.T) {
+	s := New(Config{})
+	info := registerTestWatch(t, s, WatchRequest{Name: "w", N: 10, Lambda: 0.5, MinDensity: 2})
+	if info.Name != "w" || info.N != 10 || info.Lambda != 0.5 || info.Measure != "avgdeg" || info.Step != 0 {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	if info.ReportCap != 32 {
+		t.Fatalf("default report cap %d, want 32", info.ReportCap)
+	}
+
+	// Defaults echo: zero lambda means 0.3.
+	dflt := registerTestWatch(t, s, WatchRequest{Name: "d", N: 10})
+	if dflt.Lambda != 0.3 {
+		t.Fatalf("defaulted lambda %v, want 0.3", dflt.Lambda)
+	}
+
+	// Duplicate name conflicts.
+	if code := doJSON(t, s, http.MethodPost, "/v1/watches", WatchRequest{Name: "w", N: 10}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate watch: status %d, want 409", code)
+	}
+
+	// Invalid registrations.
+	for name, req := range map[string]WatchRequest{
+		"missing name":    {N: 10},
+		"slash in name":   {Name: "a/b", N: 10},
+		"zero n":          {Name: "x", N: 0},
+		"negative lambda": {Name: "x", N: 10, Lambda: -1},
+		"lambda above 1":  {Name: "x", N: 10, Lambda: 1.5},
+		"bad measure":     {Name: "x", N: 10, Measure: "modularity"},
+		"negative ring":   {Name: "x", N: 10, Reports: -3},
+		"huge ring":       {Name: "x", N: 10, Reports: 1 << 20},
+		"negative solve":  {Name: "x", N: 10, SolveTimeoutMS: -5},
+		"overflow solve":  {Name: "x", N: 10, SolveTimeoutMS: 1e13},
+	} {
+		if code := doJSON(t, s, http.MethodPost, "/v1/watches", req, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+
+	// Listing is sorted by name.
+	var list []WatchInfo
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(list) != 2 || list[0].Name != "d" || list[1].Name != "w" {
+		t.Fatalf("unexpected list %+v", list)
+	}
+
+	// The registration bound turns into 503 until a watch is deleted.
+	bounded := New(Config{MaxWatches: 1})
+	registerTestWatch(t, bounded, WatchRequest{Name: "only", N: 5})
+	if code := doJSON(t, bounded, http.MethodPost, "/v1/watches", WatchRequest{Name: "more", N: 5}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("over watch limit: status %d, want 503", code)
+	}
+	if code := doJSON(t, bounded, http.MethodDelete, "/v1/watches/only", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	registerTestWatch(t, bounded, WatchRequest{Name: "more", N: 5})
+
+	// Negative MaxWatches disables registration outright.
+	disabled := New(Config{MaxWatches: -1})
+	if code := doJSON(t, disabled, http.MethodPost, "/v1/watches", WatchRequest{Name: "x", N: 5}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled registration: status %d, want 503", code)
+	}
+}
+
+func TestWatchObserveErrors(t *testing.T) {
+	s := New(Config{})
+	registerTestWatch(t, s, WatchRequest{Name: "w", N: 5})
+	small := GraphJSON{N: 3}
+	ok := GraphJSON{N: 5}
+	for name, c := range map[string]struct {
+		body WatchObserveRequest
+		want int
+	}{
+		"empty body":     {WatchObserveRequest{}, http.StatusBadRequest},
+		"both styles":    {WatchObserveRequest{Graph: &ok, Delta: []EdgeJSON{{U: 0, V: 1, W: 1}}}, http.StatusBadRequest},
+		"wrong n":        {WatchObserveRequest{Graph: &small}, http.StatusBadRequest},
+		"delta range":    {WatchObserveRequest{Delta: []EdgeJSON{{U: 0, V: 9, W: 1}}}, http.StatusBadRequest},
+		"delta selfloop": {WatchObserveRequest{Delta: []EdgeJSON{{U: 2, V: 2, W: 1}}}, http.StatusBadRequest},
+	} {
+		if code := doJSON(t, s, http.MethodPost, "/v1/watches/w/observe", c.body, nil); code != c.want {
+			t.Errorf("%s: status %d, want %d", name, code, c.want)
+		}
+	}
+	// Unknown watch everywhere.
+	if code := doJSON(t, s, http.MethodPost, "/v1/watches/nope/observe", WatchObserveRequest{Graph: &ok}, nil); code != http.StatusNotFound {
+		t.Errorf("observe unknown: status %d, want 404", code)
+	}
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches/nope/reports", nil, nil); code != http.StatusNotFound {
+		t.Errorf("reports unknown: status %d, want 404", code)
+	}
+	if code := doJSON(t, s, http.MethodDelete, "/v1/watches/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("delete unknown: status %d, want 404", code)
+	}
+	// Bad methods and paths.
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches/w/observe", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET observe: status %d, want 405", code)
+	}
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches/w/bogus", nil, nil); code != http.StatusNotFound {
+		t.Errorf("bogus subresource: status %d, want 404", code)
+	}
+}
+
+// TestWatchSmoke is the CI watch-API smoke: register, observe twice, and the
+// second observation — a sudden triangle history does not explain — must be
+// reported anomalous. Kept fast and dependency-free on purpose.
+func TestWatchSmoke(t *testing.T) {
+	s := New(Config{})
+	registerTestWatch(t, s, WatchRequest{Name: "smoke", N: 6, Lambda: 0.5, MinDensity: 2})
+	steady := GraphJSON{N: 6, Edges: []EdgeJSON{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}}
+	rep1 := observeWatch(t, s, "smoke", WatchObserveRequest{Graph: &steady})
+	if rep1.Step != 1 || rep1.Anomalous {
+		t.Fatalf("steady first step misreported: %+v", rep1)
+	}
+	spike := GraphJSON{N: 6, Edges: append(append([]EdgeJSON{}, steady.Edges...),
+		EdgeJSON{U: 3, V: 4, W: 5}, EdgeJSON{U: 4, V: 5, W: 5}, EdgeJSON{U: 3, V: 5, W: 5})}
+	rep2 := observeWatch(t, s, "smoke", WatchObserveRequest{Graph: &spike})
+	if !rep2.Anomalous || len(rep2.S) != 3 || rep2.S[0] != 3 {
+		t.Fatalf("planted triangle not reported: %+v", rep2)
+	}
+	var reports WatchReportsResponse
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches/smoke/reports", nil, &reports); code != http.StatusOK {
+		t.Fatalf("reports: status %d", code)
+	}
+	anomalous := 0
+	for _, r := range reports.Reports {
+		if r.Anomalous {
+			anomalous++
+		}
+	}
+	if len(reports.Reports) != 2 || anomalous != 1 {
+		t.Fatalf("got %d reports with %d anomalies, want 2 with 1", len(reports.Reports), anomalous)
+	}
+}
+
+func TestWatchRingBoundedAndStats(t *testing.T) {
+	s := New(Config{})
+	registerTestWatch(t, s, WatchRequest{Name: "ring", N: 4, Reports: 3, MinDensity: 100})
+	g := GraphJSON{N: 4, Edges: []EdgeJSON{{0, 1, 1}}}
+	for i := 0; i < 5; i++ {
+		observeWatch(t, s, "ring", WatchObserveRequest{Graph: &g})
+	}
+	var resp WatchReportsResponse
+	if code := doJSON(t, s, http.MethodGet, "/v1/watches/ring/reports", nil, &resp); code != http.StatusOK {
+		t.Fatalf("reports: status %d", code)
+	}
+	if resp.Step != 5 || len(resp.Reports) != 3 {
+		t.Fatalf("step %d with %d retained reports, want 5 with 3", resp.Step, len(resp.Reports))
+	}
+	// Oldest dropped: the ring holds steps 3, 4, 5 in order.
+	for i, r := range resp.Reports {
+		if r.Step != i+3 {
+			t.Fatalf("ring slot %d holds step %d, want %d", i, r.Step, i+3)
+		}
+	}
+	// Health stats count the watch and its observations.
+	var h HealthResponse
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Watches.Count != 1 || h.Watches.Observations != 5 || h.Watches.Anomalies != 0 {
+		t.Fatalf("health watch stats %+v", h.Watches)
+	}
+	// Deleting the watch frees its registry slot; cumulative counters remain.
+	if code := doJSON(t, s, http.MethodDelete, "/v1/watches/ring", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Watches.Count != 0 || h.Watches.Observations != 5 {
+		t.Fatalf("health watch stats after delete %+v", h.Watches)
+	}
+}
+
+// TestWatchLifecycleConcurrent drives one watch from many goroutines while
+// others list, poll reports and run a second watch; meant for -race. The
+// per-watch mutex serializes the stream, so every observation lands exactly
+// once and the ring stays bounded.
+func TestWatchLifecycleConcurrent(t *testing.T) {
+	s := New(Config{PoolSize: 4})
+	registerTestWatch(t, s, WatchRequest{Name: "hot", N: 30, Reports: 4, MinDensity: 1000})
+	registerTestWatch(t, s, WatchRequest{Name: "cold", N: 30, MinDensity: 1000})
+	g := GraphJSON{N: 30, Edges: []EdgeJSON{{0, 1, 2}, {1, 2, 2}, {3, 4, 1}}}
+
+	const workers, rounds = 6, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := "hot"
+				if w%3 == 2 {
+					name = "cold"
+				}
+				var rep WatchReport
+				if code := doJSON(t, s, http.MethodPost, "/v1/watches/"+name+"/observe",
+					WatchObserveRequest{Graph: &g}, &rep); code != http.StatusOK {
+					t.Errorf("observe: status %d", code)
+				}
+				doJSON(t, s, http.MethodGet, "/v1/watches", nil, nil)
+				doJSON(t, s, http.MethodGet, "/v1/watches/hot/reports", nil, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var h HealthResponse
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Watches.Observations != workers*rounds {
+		t.Fatalf("observations %d, want %d", h.Watches.Observations, workers*rounds)
+	}
+	var hot, cold WatchInfo
+	doJSON(t, s, http.MethodGet, "/v1/watches/hot", nil, &hot)
+	doJSON(t, s, http.MethodGet, "/v1/watches/cold", nil, &cold)
+	if hot.Step+cold.Step != workers*rounds {
+		t.Fatalf("steps hot=%d cold=%d, want total %d", hot.Step, cold.Step, workers*rounds)
+	}
+	var resp WatchReportsResponse
+	doJSON(t, s, http.MethodGet, "/v1/watches/hot/reports", nil, &resp)
+	if len(resp.Reports) != 4 {
+		t.Fatalf("ring holds %d reports, want its capacity 4", len(resp.Reports))
+	}
+	// Delete under load already finished: now both watches go away cleanly.
+	for _, name := range []string{"hot", "cold"} {
+		if code := doJSON(t, s, http.MethodDelete, "/v1/watches/"+name, nil, nil); code != http.StatusOK {
+			t.Fatalf("delete %s: status %d", name, code)
+		}
+	}
+	doJSON(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Watches.Count != 0 {
+		t.Fatalf("watches remain after delete: %+v", h.Watches)
+	}
+}
+
+// TestWatchReadsDontBlockDuringObserve pins the two-lock design: listing
+// watches, reading one watch's info and polling its reports must all answer
+// while an observation is mid-solve (simulated by holding the observe lock,
+// exactly what a long-running mine does).
+func TestWatchReadsDontBlockDuringObserve(t *testing.T) {
+	s := New(Config{})
+	registerTestWatch(t, s, WatchRequest{Name: "busy", N: 5})
+	g := GraphJSON{N: 5, Edges: []EdgeJSON{{0, 1, 1}}}
+	observeWatch(t, s, "busy", WatchObserveRequest{Graph: &g})
+
+	wt, ok := s.watches.get("busy")
+	if !ok {
+		t.Fatal("watch vanished")
+	}
+	wt.obsMu.Lock() // an observe is mining right now
+	defer wt.obsMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var list []WatchInfo
+		if code := doJSON(t, s, http.MethodGet, "/v1/watches", nil, &list); code != http.StatusOK || len(list) != 1 {
+			t.Errorf("list during solve: status %d, %d watches", code, len(list))
+		}
+		var info WatchInfo
+		if code := doJSON(t, s, http.MethodGet, "/v1/watches/busy", nil, &info); code != http.StatusOK || info.Step != 1 {
+			t.Errorf("info during solve: status %d, step %d", code, info.Step)
+		}
+		var reports WatchReportsResponse
+		if code := doJSON(t, s, http.MethodGet, "/v1/watches/busy/reports", nil, &reports); code != http.StatusOK || len(reports.Reports) != 1 {
+			t.Errorf("reports during solve: status %d, %d reports", code, len(reports.Reports))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch reads blocked behind an in-flight observe")
+	}
+}
+
+// TestWatchEndToEnd is the acceptance test: a planted dense subgraph
+// injected at step k of a synthetic stream is reported at step k and
+// absorbed (not re-reported) within a few subsequent steps — and feeding the
+// same stream as edge deltas produces reports bitwise-identical to full
+// snapshot feeding.
+func TestWatchEndToEnd(t *testing.T) {
+	const (
+		n      = 60
+		steps  = 10
+		inject = 5
+	)
+	clique := []int{7, 19, 33, 48}
+	snaps := watchStream(7, n, steps, inject, clique)
+
+	s := New(Config{})
+	// Lambda 0.7 absorbs fast; MinDensity 4 sits above both the cold-start
+	// residue (the whole backbone leaves ~0.3 of its density in the step-2
+	// difference) and the per-step noise, but far below the planted clique.
+	cfg := WatchRequest{N: n, Lambda: 0.7, MinDensity: 4}
+	cfg.Name = "full"
+	registerTestWatch(t, s, cfg)
+	cfg.Name = "delta"
+	registerTestWatch(t, s, cfg)
+
+	prev := GraphJSON{N: n}
+	var fullReports, deltaReports []WatchReport
+	for i, snap := range snaps {
+		fullReports = append(fullReports,
+			observeWatch(t, s, "full", WatchObserveRequest{Graph: &snaps[i]}))
+		deltaReports = append(deltaReports,
+			observeWatch(t, s, "delta", WatchObserveRequest{Delta: DeltaBetween(prev, snap)}))
+		prev = snap
+	}
+
+	// The planted clique surfaces exactly when injected...
+	rep := fullReports[inject-1]
+	if !rep.Anomalous {
+		t.Fatalf("injection step %d not reported: %+v", inject, rep)
+	}
+	members := map[int]bool{}
+	for _, v := range rep.S {
+		members[v] = true
+	}
+	for _, m := range clique {
+		if !members[m] {
+			t.Fatalf("report %v misses planted member %d", rep.S, m)
+		}
+	}
+	// ...the steady prefix is quiet after the two-step cold start (against a
+	// fresh empty expectation, the entire backbone is "new")...
+	for _, r := range fullReports[2 : inject-1] {
+		if r.Anomalous {
+			t.Fatalf("steady step %d misreported anomalous: %+v", r.Step, r)
+		}
+	}
+	// ...and the persistent clique is absorbed, not re-reported forever.
+	absorbed := false
+	for _, r := range fullReports[inject:] {
+		if !r.Anomalous {
+			absorbed = true
+		}
+	}
+	if !absorbed {
+		t.Fatalf("planted clique never absorbed: %+v", fullReports[inject:])
+	}
+
+	// Delta feeding is bitwise-equivalent to full-snapshot feeding.
+	for i := range fullReports {
+		f, d := fullReports[i], deltaReports[i]
+		if f.Step != d.Step || f.Anomalous != d.Anomalous || f.Interrupted != d.Interrupted ||
+			math.Float64bits(f.Contrast) != math.Float64bits(d.Contrast) ||
+			math.Float64bits(f.Affinity) != math.Float64bits(d.Affinity) ||
+			fmt.Sprint(f.S) != fmt.Sprint(d.S) {
+			t.Fatalf("step %d: delta report %+v differs from full report %+v", i+1, d, f)
+		}
+	}
+}
+
+func TestSnapshotDelete(t *testing.T) {
+	s := New(Config{})
+	upload(t, s)
+	// Populate the difference cache for the pair about to be deleted.
+	doJSON(t, s, http.MethodPost, "/v1/dcs", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}, nil)
+	if st := s.DiffCacheStats(); st.Len != 1 {
+		t.Fatalf("cache len %d, want 1", st.Len)
+	}
+
+	if code := doJSON(t, s, http.MethodDelete, "/v1/snapshots/old", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	// The deleted snapshot is gone from the registry and from the cache.
+	var list []SnapshotInfo
+	doJSON(t, s, http.MethodGet, "/v1/snapshots", nil, &list)
+	if len(list) != 1 || list[0].Name != "new" {
+		t.Fatalf("unexpected list after delete: %+v", list)
+	}
+	if st := s.DiffCacheStats(); st.Len != 0 {
+		t.Fatalf("cache still holds %d entries after snapshot delete", st.Len)
+	}
+	// Mining against it now fails cleanly; deleting again 404s.
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("dcs against deleted snapshot: status %d, want 400", code)
+	}
+	if code := doJSON(t, s, http.MethodDelete, "/v1/snapshots/old", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("re-delete: status %d, want 404", code)
+	}
+	// Re-uploading after delete CONTINUES the version sequence: reusing
+	// version 1 would resurrect the deleted graph's (name, version) identity
+	// and let an in-flight diff-cache insert pass its currency check against
+	// the wrong graph.
+	g1, _ := fig1Pair()
+	var info SnapshotInfo
+	doJSON(t, s, http.MethodPost, "/v1/snapshots", SnapshotRequest{Name: "old", GraphJSON: g1}, &info)
+	if info.Version != 2 {
+		t.Fatalf("re-created snapshot version %d, want 2 (versions are monotonic across delete)", info.Version)
+	}
+	// Method and path hygiene.
+	if code := doJSON(t, s, http.MethodGet, "/v1/snapshots/old", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET by name: status %d, want 405", code)
+	}
+	if code := doJSON(t, s, http.MethodDelete, "/v1/snapshots/", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("empty name: status %d, want 404", code)
+	}
+}
