@@ -7,12 +7,20 @@
 //
 //	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-cache 64]
 //	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64]
-//	     [-load name=graph.tsv ...]
+//	     [-data DIR] [-checkpoint 30s] [-load name=graph.tsv ...]
 //
-// Each -load flag (repeatable) preloads a TSV edge list (see internal/dataio
-// for the format) as a named snapshot before the server starts, e.g.
+// -data makes the server durable: snapshots (and their version counters)
+// are mirrored to DIR write-through, streaming watches are checkpointed
+// periodically (-checkpoint) and on SIGTERM/SIGINT, and a restart recovers
+// everything — uploads, watch expectations, report rings — instead of
+// booting empty. Restore counts are logged at boot and exposed on /healthz.
 //
-//	dcsd -load old=dblp-g1.tsv -load new=dblp-g2.tsv
+// Each -load flag (repeatable) preloads an edge list as a named snapshot
+// before the server starts; the format follows the file extension (.dcsg
+// binary, .mtx/.mm MatrixMarket, .snap SNAP, anything else the native TSV —
+// see internal/dataio), e.g.
+//
+//	dcsd -load old=dblp-g1.tsv -load new=dblp-g2.dcsg
 //	curl 'localhost:8080/v1/topics?g1=old&g2=new&k=5'
 //
 // -timeout bounds each solve: an expired request returns its best-so-far
@@ -27,13 +35,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/dcslib/dcs/internal/dataio"
 	"github.com/dcslib/dcs/serve"
@@ -55,6 +67,10 @@ func main() {
 	jobs := flag.Int("jobs", 256, "finished async jobs retained for polling")
 	watches := flag.Int("watches", 64,
 		"max registered streaming watches (0 disables registration)")
+	dataDir := flag.String("data", "",
+		"data directory for durable snapshots and watches (empty = in-memory only)")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second,
+		"watch-state checkpoint interval with -data (0 disables periodic checkpoints)")
 	var loads []string
 	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -87,31 +103,72 @@ func main() {
 	if maxWatches <= 0 {
 		maxWatches = -1 // same convention as -cache
 	}
-	// No srv.Close() here: main only ever exits through log.Fatal (which
-	// skips defers) and process death reclaims everything; Close exists for
-	// embedders that outlive their Server.
-	srv := serve.New(serve.Config{
-		PoolSize:      *pool,
-		Parallelism:   par,
-		DiffCacheSize: cacheSize,
-		SolveTimeout:  *timeout,
-		MaxQueue:      *maxQueue,
-		JobRetention:  *jobs,
-		MaxWatches:    maxWatches,
-	})
+	cpInterval := *checkpoint
+	if cpInterval <= 0 {
+		cpInterval = -1 // Config convention: negative disables the loop
+	}
+	// No srv.Close() on the fatal paths: main only ever exits through
+	// log.Fatal (which skips defers) and process death reclaims everything;
+	// the signal handler below covers the graceful stop.
+	cfg := serve.Config{
+		PoolSize:           *pool,
+		Parallelism:        par,
+		DiffCacheSize:      cacheSize,
+		SolveTimeout:       *timeout,
+		MaxQueue:           *maxQueue,
+		JobRetention:       *jobs,
+		MaxWatches:         maxWatches,
+		CheckpointInterval: cpInterval,
+	}
+	var srv *serve.Server
+	if *dataDir != "" {
+		var err error
+		srv, err = serve.Open(cfg, *dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := srv.PersistStats()
+		log.Printf("recovered from %s: %d snapshots, %d watches (%d errors)",
+			*dataDir, st.SnapshotsRestored, st.WatchesRestored, st.RestoreErrors)
+	} else {
+		srv = serve.New(cfg)
+	}
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
-		g, err := dataio.ReadGraphFile(path)
+		g, err := dataio.ReadGraphFileAuto(path)
 		if err != nil {
 			log.Fatalf("preload %s: %v", name, err)
 		}
-		info := srv.Store().Put(name, g)
-		log.Printf("loaded snapshot %q: n=%d m=%d", info.Name, info.N, info.M)
+		info, err := srv.Store().Put(name, g)
+		if err != nil {
+			log.Fatalf("preload %s: %v", name, err)
+		}
+		log.Printf("loaded snapshot %q: n=%d m=%d (v%d)", info.Name, info.N, info.M, info.Version)
 	}
+
+	// A graceful stop (SIGTERM/SIGINT) first drains the listener — an
+	// observe answered 200 during shutdown must make it into the final
+	// flush — then checkpoints outstanding watch state. Snapshots need
+	// nothing: they are mirrored write-through.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		defer close(done)
+		sig := <-sigc
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // a drain timeout still flushes below
+		srv.Flush()
+		log.Printf("%s: watch state flushed, exiting", sig)
+	}()
 
 	log.Printf("listening on %s (pool=%d, parallelism=%d, timeout=%v, snapshots=%d)",
 		*addr, *pool, par, *timeout, srv.Store().Len())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	err := httpSrv.ListenAndServe()
+	if err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	<-done
 }

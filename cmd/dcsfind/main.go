@@ -4,11 +4,14 @@
 // Usage:
 //
 //	dcsfind -g1 old.tsv -g2 new.tsv [-measure ad|ga|weight] [-alpha 1]
-//	        [-labels labels.txt] [-top K] [-timeout 0]
+//	        [-labels labels.txt] [-top K] [-timeout 0] [-format auto]
 //
 // With -measure ga and -top K > 1, it prints the top-K contrast cliques
 // instead of just the best one. -timeout bounds the solve: when it expires
 // the best-so-far partial result is printed, marked "(interrupted)".
+// -format defaults to auto: the input format follows each file's extension
+// (.dcsg binary, .mtx/.mm MatrixMarket, .snap SNAP, anything else TSV);
+// tsv, snap, mm and bin force one format for both files.
 package main
 
 import (
@@ -31,7 +34,8 @@ func main() {
 	alpha := flag.Float64("alpha", 1, "difference graph GD = G2 − alpha*G1")
 	labelsPath := flag.String("labels", "", "optional label file (one label per vertex line)")
 	top := flag.Int("top", 1, "with -measure ga: report the top K contrast cliques")
-	format := flag.String("format", "tsv", "input format: tsv (native), snap, mm (MatrixMarket)")
+	format := flag.String("format", "auto",
+		"input format: auto (by extension), tsv (native), snap, mm (MatrixMarket), bin (binary "+dataio.BinaryExt+")")
 	timeout := flag.Duration("timeout", 0,
 		"solve budget, e.g. 30s (0 = unlimited; on expiry the partial result is printed)")
 	flag.Parse()
@@ -131,8 +135,12 @@ func main() {
 // native tsv format is preferred for graph pairs.
 func readGraph(path, format string) (*dcs.Graph, error) {
 	switch format {
+	case "auto":
+		return dataio.ReadGraphFileAuto(path)
 	case "tsv":
 		return dataio.ReadGraphFile(path)
+	case "bin":
+		return dataio.ReadBinaryFile(path)
 	case "snap":
 		f, err := os.Open(path)
 		if err != nil {
@@ -149,6 +157,6 @@ func readGraph(path, format string) (*dcs.Graph, error) {
 		defer f.Close()
 		return dataio.ReadMatrixMarket(f)
 	default:
-		return nil, fmt.Errorf("unknown format %q (want tsv, snap or mm)", format)
+		return nil, fmt.Errorf("unknown format %q (want auto, tsv, snap, mm or bin)", format)
 	}
 }

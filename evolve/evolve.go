@@ -27,6 +27,7 @@
 package evolve
 
 import (
+	dcs "github.com/dcslib/dcs"
 	ievolve "github.com/dcslib/dcs/internal/evolve"
 )
 
@@ -45,4 +46,12 @@ type Tracker = ievolve.Tracker
 // error describing an invalid vertex count or config.
 func New(n int, cfg Config) (*Tracker, error) {
 	return ievolve.New(n, cfg)
+}
+
+// Restore reconstructs a Tracker from previously checkpointed state — the
+// expectation graph and step count of an earlier tracker (Expectation and
+// Step) — so a persisted stream resumes where it left off instead of
+// cold-starting. The config is validated as in New.
+func Restore(n int, cfg Config, expect *dcs.Graph, step int) (*Tracker, error) {
+	return ievolve.Restore(n, cfg, expect, step)
 }

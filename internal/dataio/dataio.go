@@ -21,6 +21,43 @@ import (
 	"github.com/dcslib/dcs/internal/graph"
 )
 
+const (
+	// scanInitBuf is the scanner's initial line buffer.
+	scanInitBuf = 64 << 10
+	// scanMaxLine caps a single input line. Real corpora carry multi-megabyte
+	// comment and header lines; the old 1 MiB cap made them fail with a bare
+	// "token too long". 64 MiB admits anything plausibly hand-made while
+	// still bounding a hostile unterminated stream.
+	scanMaxLine = 64 << 20
+)
+
+// newScanner returns a line scanner with the package-wide buffer limits.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, scanInitBuf), scanMaxLine)
+	return sc
+}
+
+// scanErr wraps a scanner error with the line it occurred on (the line after
+// the last successfully scanned one), so "token too long" and transport
+// errors point at the offending input instead of arriving bare.
+func scanErr(err error, lastLine int) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("dataio: line %d: %w", lastLine+1, err)
+}
+
+// pathErr prefixes a non-nil read/parse error with the file path. os.Open
+// errors already carry the path; parse errors from the io.Reader-based
+// readers do not.
+func pathErr(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", path, err)
+}
+
 // WriteGraph writes g in edge-list format.
 func WriteGraph(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
@@ -42,8 +79,7 @@ func WriteGraph(w io.Writer, g *graph.Graph) error {
 
 // ReadGraph parses edge-list format.
 func ReadGraph(r io.Reader) (*graph.Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc := newScanner(r)
 	var b *graph.Builder
 	line := 0
 	for sc.Scan() {
@@ -81,7 +117,7 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 		}
 		b.AddEdge(u, v, w)
 	}
-	if err := sc.Err(); err != nil {
+	if err := scanErr(sc.Err(), line); err != nil {
 		return nil, err
 	}
 	if b == nil {
@@ -110,7 +146,8 @@ func ReadGraphFile(path string) (*graph.Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadGraph(f)
+	g, err := ReadGraph(f)
+	return g, pathErr(path, err)
 }
 
 // WriteLabels writes one label per line.
@@ -129,13 +166,12 @@ func WriteLabels(w io.Writer, labels []string) error {
 
 // ReadLabels reads one label per line.
 func ReadLabels(r io.Reader) ([]string, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc := newScanner(r)
 	var out []string
 	for sc.Scan() {
 		out = append(out, sc.Text())
 	}
-	return out, sc.Err()
+	return out, scanErr(sc.Err(), len(out))
 }
 
 // WriteLabelsFile writes labels to path.
@@ -158,5 +194,6 @@ func ReadLabelsFile(path string) ([]string, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadLabels(f)
+	labels, err := ReadLabels(f)
+	return labels, pathErr(path, err)
 }

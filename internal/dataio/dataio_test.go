@@ -2,7 +2,10 @@ package dataio
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -102,6 +105,72 @@ func TestReadGraphErrors(t *testing.T) {
 		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d (%q): expected error", i, in)
 		}
+	}
+}
+
+func TestReadGraphLongCommentLine(t *testing.T) {
+	// Real corpora carry multi-megabyte comment/header lines; the old fixed
+	// 1 MiB scanner cap failed them with a bare "token too long".
+	var sb strings.Builder
+	sb.WriteString("# ")
+	sb.WriteString(strings.Repeat("x", 2<<20))
+	sb.WriteString("\nn 2\n0 1 3\n")
+	g, err := ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("2 MiB comment line rejected: %v", err)
+	}
+	if g.Weight(0, 1) != 3 {
+		t.Fatal("graph after long comment parsed wrong")
+	}
+}
+
+// brokenReader fails with errBroken after yielding its content.
+type brokenReader struct{ s *strings.Reader }
+
+var errBroken = fmt.Errorf("transport broke")
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if r.s.Len() > 0 {
+		return r.s.Read(p)
+	}
+	return 0, errBroken
+}
+
+func TestScannerErrorsCarryLineContext(t *testing.T) {
+	// A scanner-level failure (transport error, token too long) must name
+	// the line it occurred on instead of surfacing bare.
+	_, err := ReadGraph(&brokenReader{s: strings.NewReader("n 2\n0 1 1\n")})
+	if err == nil {
+		t.Fatal("expected the transport error through ReadGraph")
+	}
+	if !errors.Is(err, errBroken) {
+		t.Fatalf("underlying error not wrapped: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error lacks line context: %v", err)
+	}
+
+	if _, _, err := ReadSNAP(&brokenReader{s: strings.NewReader("1 2\n")}); err == nil || !strings.Contains(err.Error(), "line") {
+		t.Fatalf("SNAP scanner error lacks line context: %v", err)
+	}
+	if _, err := ReadLabels(&brokenReader{s: strings.NewReader("a\nb\n")}); err == nil || !strings.Contains(err.Error(), "line") {
+		t.Fatalf("labels scanner error lacks line context: %v", err)
+	}
+	mm := "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n"
+	if _, err := ReadMatrixMarket(&brokenReader{s: strings.NewReader(mm)}); err == nil || !strings.Contains(err.Error(), "line") {
+		t.Fatalf("MatrixMarket scanner error lacks line context: %v", err)
+	}
+}
+
+func TestReadGraphFileErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(path, []byte("n 2\n0 5 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadGraphFile(path)
+	if err == nil || !strings.Contains(err.Error(), "bad.tsv") {
+		t.Fatalf("parse error lacks file context: %v", err)
 	}
 }
 

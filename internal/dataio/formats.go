@@ -15,20 +15,26 @@ import (
 // tools interoperate with existing datasets:
 //
 //   - SNAP-style edge lists: "u v [w]" lines, vertices remapped densely.
-//   - MatrixMarket coordinate format (symmetric, real or pattern).
+//   - MatrixMarket coordinate format (symmetric or general, real or
+//     pattern).
 //
-// All readers reject self-loops silently (dropped, as is conventional for
-// these corpora) and merge parallel edges by weight summation.
+// All readers drop self-loops silently (as is conventional for these
+// corpora) while still interning their endpoints, so the vertex universe
+// matches the file. Parallel edges merge by weight summation, except in
+// general MatrixMarket matrices, which are symmetrized by averaging their
+// duplicate (i,j)/(j,i) entries.
 
 // ReadSNAP parses a SNAP-style edge list: one edge per line as "u v" or
 // "u v w", with '#' comments. Vertex ids may be arbitrary non-negative
-// integers; they are remapped to a dense [0, n) range. Returns the graph and
-// the original id of each vertex. Edges without a weight get weight 1.
+// integers; they are remapped to a dense [0, n) range in first-appearance
+// order. Returns the graph and the original id of each vertex. Edges
+// without a weight get weight 1. Self-loop lines contribute their vertex to
+// the remap but no edge, so a vertex mentioned only by self-loops is still
+// present (isolated) rather than silently missing from the id table.
 func ReadSNAP(r io.Reader) (*graph.Graph, []int64, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc := newScanner(r)
 	type rawEdge struct {
-		u, v int64
+		u, v int
 		w    float64
 	}
 	var edges []rawEdge
@@ -67,19 +73,21 @@ func ReadSNAP(r io.Reader) (*graph.Graph, []int64, error) {
 				return nil, nil, fmt.Errorf("dataio: snap line %d: bad weight %q", line, fields[2])
 			}
 		}
+		// Intern BEFORE the self-loop drop: the line still names a vertex,
+		// and skipping it first would make the returned n and orig table
+		// disagree with the corpus for vertices that only appear as loops.
+		iu, iv := intern(u), intern(v)
 		if u == v {
 			continue // drop self-loops
 		}
-		edges = append(edges, rawEdge{u, v, w})
-		intern(u)
-		intern(v)
+		edges = append(edges, rawEdge{iu, iv, w})
 	}
-	if err := sc.Err(); err != nil {
+	if err := scanErr(sc.Err(), line); err != nil {
 		return nil, nil, err
 	}
 	b := graph.NewBuilder(len(orig))
 	for _, e := range edges {
-		b.AddEdge(remap[e.u], remap[e.v], e.w)
+		b.AddEdge(e.u, e.v, e.w)
 	}
 	return b.Build(), orig, nil
 }
@@ -104,37 +112,86 @@ func WriteSNAP(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadMatrixMarket parses a MatrixMarket coordinate file describing a
-// symmetric (or general, symmetrized by averaging) sparse matrix as a graph.
-// Pattern matrices get weight 1. Entries are 1-indexed per the format.
+// symmetric (or general) sparse matrix as a graph. Pattern matrices get
+// weight 1. Entries are 1-indexed per the format. A general matrix is
+// symmetrized by averaging, (A + Aᵀ)/2 restricted to the given entries: all
+// entries for the same unordered pair — (i,j) and (j,i), or outright
+// repeats — contribute the mean of their values, so a matrix stored with
+// both triangles keeps its weights instead of having every one doubled.
+// Symmetric (and skew-symmetric/Hermitian) files carry one triangle and are
+// read as-is. Exactly nnz entries are consumed; the reader never scans past
+// the last entry, so trailing content in a concatenated stream stays
+// unread.
 func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc := newScanner(r)
+	line := 0
 	if !sc.Scan() {
+		if err := scanErr(sc.Err(), line); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("dataio: empty MatrixMarket input")
 	}
+	line++
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
 		return nil, fmt.Errorf("dataio: unsupported MatrixMarket header %q", sc.Text())
 	}
 	pattern := header[3] == "pattern"
+	// The symmetry field is the fifth token; a header that omits it
+	// describes a general matrix.
+	general := len(header) < 5 || header[4] == "general"
 	// Skip comments to the size line.
 	var n1, n2, nnz int
+	sizeSeen := false
 	for sc.Scan() {
+		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "%") {
 			continue
 		}
 		if _, err := fmt.Sscan(text, &n1, &n2, &nnz); err != nil {
-			return nil, fmt.Errorf("dataio: bad MatrixMarket size line %q", text)
+			return nil, fmt.Errorf("dataio: line %d: bad MatrixMarket size line %q", line, text)
 		}
+		// Negative sizes must be rejected here: a negative dimension would
+		// panic NewBuilder, and a negative nnz would silently satisfy every
+		// "read < nnz" check and yield an empty graph with no error.
+		if n1 < 0 || n2 < 0 || nnz < 0 {
+			return nil, fmt.Errorf("dataio: line %d: negative MatrixMarket size %q", line, text)
+		}
+		sizeSeen = true
 		break
+	}
+	if err := scanErr(sc.Err(), line); err != nil {
+		return nil, err
+	}
+	if !sizeSeen {
+		// Header but no size line (a truncated download): without this
+		// check the zero values would sail through every later test and
+		// yield an empty graph with no error.
+		return nil, fmt.Errorf("dataio: MatrixMarket input ends before the size line")
 	}
 	if n1 != n2 {
 		return nil, fmt.Errorf("dataio: adjacency matrix must be square, got %dx%d", n1, n2)
 	}
 	b := graph.NewBuilder(n1)
+	// General matrices average their duplicates instead of letting the
+	// builder sum them; sums and counts accumulate per unordered pair.
+	type pair struct{ i, j int }
+	var sum map[pair]float64
+	var cnt map[pair]int
+	if general {
+		// Capacity hint capped: nnz is an untrusted header field, and a
+		// 50-byte hostile file must not demand gigabytes of hash buckets
+		// before a single entry is validated (same rationale as the binary
+		// codec's size guards). The maps still grow to real data.
+		sum = make(map[pair]float64, min(nnz, 1<<20))
+		cnt = make(map[pair]int, min(nnz, 1<<20))
+	}
 	read := 0
-	for sc.Scan() && read < nnz {
+	// read < nnz is checked BEFORE Scan: the loop must not consume the line
+	// after the final entry.
+	for read < nnz && sc.Scan() {
+		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "%") {
 			continue
@@ -145,32 +202,44 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 			want = 2
 		}
 		if len(fields) < want {
-			return nil, fmt.Errorf("dataio: short MatrixMarket entry %q", text)
+			return nil, fmt.Errorf("dataio: line %d: short MatrixMarket entry %q", line, text)
 		}
 		i, err1 := strconv.Atoi(fields[0])
 		j, err2 := strconv.Atoi(fields[1])
 		if err1 != nil || err2 != nil || i < 1 || j < 1 || i > n1 || j > n1 {
-			return nil, fmt.Errorf("dataio: bad MatrixMarket indices %q", text)
+			return nil, fmt.Errorf("dataio: line %d: bad MatrixMarket indices %q", line, text)
 		}
 		w := 1.0
 		if !pattern {
 			var err error
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
-				return nil, fmt.Errorf("dataio: bad MatrixMarket value %q", fields[2])
+				return nil, fmt.Errorf("dataio: line %d: bad MatrixMarket value %q", line, fields[2])
 			}
 		}
 		read++
 		if i == j {
 			continue // drop the diagonal
 		}
+		if general {
+			p := pair{i, j}
+			if p.i > p.j {
+				p.i, p.j = p.j, p.i
+			}
+			sum[p] += w
+			cnt[p]++
+			continue
+		}
 		b.AddEdge(i-1, j-1, w)
 	}
-	if err := sc.Err(); err != nil {
+	if err := scanErr(sc.Err(), line); err != nil {
 		return nil, err
 	}
 	if read < nnz {
 		return nil, fmt.Errorf("dataio: MatrixMarket file ended after %d of %d entries", read, nnz)
+	}
+	for p, s := range sum {
+		b.AddEdge(p.i-1, p.j-1, s/float64(cnt[p]))
 	}
 	return b.Build(), nil
 }

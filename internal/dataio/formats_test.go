@@ -2,6 +2,7 @@ package dataio
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -21,15 +22,20 @@ func TestReadSNAP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.N() != 3 {
-		t.Fatalf("n = %d, want 3 (self-loop-only vertex 5 never interned)", g.N())
+	if g.N() != 4 {
+		t.Fatalf("n = %d, want 4 (self-loop-only vertex 5 interned, its edge dropped)", g.N())
 	}
 	if g.M() != 3 {
 		t.Fatalf("m = %d, want 3", g.M())
 	}
 	// Vertex 10 is the first seen → id 0; unweighted edge gets weight 1.
-	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 {
+	// Vertex 5 appears only on a self-loop line: present in the id table,
+	// isolated in the graph.
+	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 || orig[3] != 5 {
 		t.Fatalf("orig = %v", orig)
+	}
+	if g.OutDegree(3) != 0 {
+		t.Fatalf("self-loop-only vertex must be isolated, degree %d", g.OutDegree(3))
 	}
 	if w := g.Weight(0, 1); w != 1 {
 		t.Fatalf("weight(10,20) = %v, want 1", w)
@@ -86,6 +92,25 @@ func TestSNAPRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReadSNAPSelfLoopOnlyVertex(t *testing.T) {
+	// A vertex whose ONLY occurrences are self-loop lines must still be in
+	// the remap: n and the orig table have to agree with the corpus.
+	in := "7 7\n7 7\n1 2 3\n"
+	g, orig, err := ReadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || len(orig) != 3 {
+		t.Fatalf("n=%d len(orig)=%d, want 3 each", g.N(), len(orig))
+	}
+	if orig[0] != 7 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatalf("orig = %v, want [7 1 2] (first-appearance order)", orig)
+	}
+	if g.M() != 1 || g.Weight(1, 2) != 3 {
+		t.Fatalf("m=%d w(1,2)=%v", g.M(), g.Weight(1, 2))
+	}
+}
+
 func TestReadMatrixMarket(t *testing.T) {
 	in := `%%MatrixMarket matrix coordinate real symmetric
 % a comment
@@ -120,6 +145,88 @@ func TestReadMatrixMarketPattern(t *testing.T) {
 	}
 }
 
+func TestReadMatrixMarketGeneralAveraging(t *testing.T) {
+	// A general matrix storing both triangles: (i,j) and (j,i) entries must
+	// average, not sum — summation doubled every weight.
+	in := `%%MatrixMarket matrix coordinate real general
+4 4 5
+1 2 4.0
+2 1 2.0
+3 4 7.0
+1 3 5.0
+3 1 5.0
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 {
+		t.Fatalf("m = %d, want 3", g.M())
+	}
+	if w := g.Weight(0, 1); w != 3 {
+		t.Fatalf("weight(1,2) = %v, want the average 3", w)
+	}
+	if w := g.Weight(2, 3); w != 7 {
+		t.Fatalf("weight(3,4) = %v, want 7 (single entry untouched)", w)
+	}
+	if w := g.Weight(0, 2); w != 5 {
+		t.Fatalf("weight(1,3) = %v, want 5 (equal mirrored entries)", w)
+	}
+
+	// A header with no symmetry field is general per the format default.
+	in2 := "%%MatrixMarket matrix coordinate real\n2 2 2\n1 2 6\n2 1 2\n"
+	g2, err := ReadMatrixMarket(strings.NewReader(in2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g2.Weight(0, 1); w != 4 {
+		t.Fatalf("weight = %v, want 4", w)
+	}
+
+	// Symmetric files keep the old semantics: entries added as given.
+	in3 := "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 6\n"
+	g3, err := ReadMatrixMarket(strings.NewReader(in3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g3.Weight(0, 1); w != 6 {
+		t.Fatalf("weight = %v, want 6", w)
+	}
+}
+
+// failAfterReader yields its content, then an error on the next Read —
+// standing in for a stream that must not be read past the final entry.
+type failAfterReader struct {
+	s    *strings.Reader
+	done bool
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.s.Len() > 0 {
+		return r.s.Read(p)
+	}
+	if !r.done {
+		r.done = true
+		return 0, fmt.Errorf("read past the final MatrixMarket entry")
+	}
+	return 0, fmt.Errorf("read again past the final entry")
+}
+
+func TestMatrixMarketStopsAtLastEntry(t *testing.T) {
+	// The old loop ran sc.Scan() once more after the final entry, consuming
+	// (and charging errors of) input beyond the matrix. With the reader
+	// erroring right after the last entry, that extra Scan turned a fully
+	// valid parse into a failure.
+	in := "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 2 1\n"
+	g, err := ReadMatrixMarket(&failAfterReader{s: strings.NewReader(in)})
+	if err != nil {
+		t.Fatalf("reader touched past the final entry: %v", err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2", g.M())
+	}
+}
+
 func TestMatrixMarketErrors(t *testing.T) {
 	cases := []string{
 		"",
@@ -128,6 +235,10 @@ func TestMatrixMarketErrors(t *testing.T) {
 		"%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 2 1\n", // truncated
 		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 2 1\n", // bad index
 		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 NaN\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 -1 1\n1 1 1\n", // negative dimension (panicked)
+		"%%MatrixMarket matrix coordinate real general\n2 2 -1\n1 2 1\n",  // negative nnz (silent empty graph)
+		"%%MatrixMarket matrix coordinate real general\n",                 // header only, no size line
+		"%%MatrixMarket matrix coordinate real general\n% c\n\n",          // comments only, no size line
 	}
 	for i, in := range cases {
 		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {

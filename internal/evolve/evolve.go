@@ -104,6 +104,32 @@ func New(n int, cfg Config) (*Tracker, error) {
 	return &Tracker{cfg: cfg, n: n, expect: graph.NewBuilder(n).Build()}, nil
 }
 
+// Restore reconstructs a Tracker from checkpointed state: the expectation
+// graph and step count a previous tracker had accumulated (Expectation and
+// Step). The config is validated exactly as in New; the expectation must
+// match the vertex count. This is how persisted dcsd watches resume after a
+// restart instead of cold-starting and re-reporting everything the old
+// expectation had already absorbed.
+func Restore(n int, cfg Config, expect *graph.Graph, step int) (*Tracker, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("evolve: negative vertex count %d", n)
+	}
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	if expect == nil {
+		return nil, fmt.Errorf("evolve: nil expectation")
+	}
+	if expect.N() != n {
+		return nil, fmt.Errorf("evolve: expectation has %d vertices, tracker has %d", expect.N(), n)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("evolve: negative step count %d", step)
+	}
+	return &Tracker{cfg: cfg, n: n, expect: expect, step: step}, nil
+}
+
 // N returns the tracker's vertex count.
 func (t *Tracker) N() int { return t.n }
 

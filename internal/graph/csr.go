@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR exposes the graph's compressed-sparse-row arrays: the offsets array
+// (len n+1) and the flat directed adjacency array it indexes, with every
+// undirected edge appearing once per direction and each row sorted by
+// neighbor id. On a plain graph the returned slices are the graph's own
+// storage — callers must not modify them; on a view the visible entries are
+// compacted into fresh arrays first. This is the export hook the binary
+// graph codec (internal/dataio) serializes from: dumping the arrays verbatim
+// round-trips the graph byte-exactly with no per-edge re-sorting.
+func (g *Graph) CSR() (off []int, nbr []Neighbor) {
+	if !g.plain() {
+		g = g.Compact()
+	}
+	return g.off, g.nbr
+}
+
+// FromCSR builds a Graph directly from CSR arrays, the import counterpart of
+// CSR. The arrays are adopted, not copied — the caller must not modify them
+// afterwards. Every structural invariant a Builder would establish is
+// verified: offsets form a monotone cover of nbr, each row is strictly
+// increasing (sorted, no parallel entries), entries are self-loop-free with
+// finite non-zero weights, and every directed entry has a bitwise-equal
+// mirror in the opposite row. The edge count and total weight are recomputed
+// during the same validation pass, so a corrupted input can produce an error
+// but never a Graph that violates the package contracts.
+func FromCSR(n int, off []int, nbr []Neighbor) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if len(off) != n+1 {
+		return nil, fmt.Errorf("graph: offsets length %d, want n+1 = %d", len(off), n+1)
+	}
+	if n > 0 && off[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets must start at 0, got %d", off[0])
+	}
+	if len(off) > 0 && off[n] != len(nbr) {
+		return nil, fmt.Errorf("graph: offsets end at %d, want len(entries) = %d", off[n], len(nbr))
+	}
+	m := 0
+	var tw float64
+	for u := 0; u < n; u++ {
+		if off[u+1] < off[u] {
+			return nil, fmt.Errorf("graph: offsets decrease at vertex %d", u)
+		}
+		row := nbr[off[u]:off[u+1]]
+		prev := -1
+		for _, nb := range row {
+			if nb.To < 0 || nb.To >= n {
+				return nil, fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", u, nb.To, n)
+			}
+			if nb.To == u {
+				return nil, fmt.Errorf("graph: self-loop on vertex %d", u)
+			}
+			if nb.To <= prev {
+				return nil, fmt.Errorf("graph: row %d not strictly increasing at neighbor %d", u, nb.To)
+			}
+			prev = nb.To
+			if nb.W == 0 || math.IsNaN(nb.W) || math.IsInf(nb.W, 0) {
+				return nil, fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, nb.To, nb.W)
+			}
+			if nb.To > u {
+				// Count each undirected edge from its lower endpoint and
+				// require the mirror entry in the higher row, bitwise equal.
+				back := nbr[off[nb.To]:off[nb.To+1]]
+				lo, hi := 0, len(back)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if back[mid].To < u {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo == len(back) || back[lo].To != u || back[lo].W != nb.W {
+					return nil, fmt.Errorf("graph: edge (%d,%d) has no matching mirror entry", u, nb.To)
+				}
+				m++
+				tw += nb.W
+			}
+		}
+	}
+	if 2*m != len(nbr) {
+		return nil, fmt.Errorf("graph: %d directed entries for %d undirected edges", len(nbr), m)
+	}
+	return &Graph{n: n, m: m, totalW: tw, off: off, nbr: nbr}, nil
+}

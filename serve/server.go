@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	dcs "github.com/dcslib/dcs"
@@ -65,6 +66,12 @@ type Config struct {
 	// WatchReports is the default per-watch report-ring capacity; each
 	// watch may override it at registration (capped at 4096). Default 32.
 	WatchReports int
+	// CheckpointInterval is how often a persistent server (see Open) writes
+	// watch-state checkpoints for watches observed since their last one.
+	// Snapshots are mirrored write-through and do not wait for it. Default
+	// 30s; negative disables the periodic loop (Flush/Close still
+	// checkpoint). Ignored by New.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.WatchReports > maxWatchReports {
 		c.WatchReports = maxWatchReports
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -109,6 +119,13 @@ type Server struct {
 	watches *watchRegistry
 	mux     *http.ServeMux
 	start   time.Time
+
+	// persist is nil on an in-memory Server (New); Open sets it and starts
+	// the checkpoint loop.
+	persist *persister
+	cpStop  chan struct{}
+	cpDone  chan struct{}
+	cpOnce  sync.Once
 }
 
 // New returns a ready Server with an empty snapshot registry.
@@ -137,17 +154,91 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// Open returns a Server whose state is durable under dataDir: on boot it
+// recovers every committed snapshot (last fully-committed version, binary
+// checksums verified) and every checkpointed streaming watch (EWMA
+// expectation, delta base, report ring — the next observe mines against
+// the restored expectation, not a cold tracker), then mirrors every
+// snapshot Put/Delete write-through and checkpoints watch state every
+// Config.CheckpointInterval plus on Flush/Close. Version counters survive
+// restarts, deletions included, preserving the diff cache's (name, version)
+// ABA protection. Restore counts are on /healthz (see PersistStats).
+func Open(cfg Config, dataDir string) (*Server, error) {
+	s := New(cfg)
+	p, err := openPersister(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	p.recoverSnapshots(s.store)
+	for _, w := range p.recoverWatches(*s.options()) {
+		s.watches.restore(w)
+	}
+	// Hooks attach only after recovery: restoring must not rewrite what it
+	// just read.
+	s.persist = p
+	s.store.persist = p
+	p.lookup = func(name string) (*watch, bool) { return s.watches.get(name) }
+	s.cpStop = make(chan struct{})
+	s.cpDone = make(chan struct{})
+	go s.checkpointLoop()
+	return s, nil
+}
+
+func (s *Server) checkpointLoop() {
+	defer close(s.cpDone)
+	if s.cfg.CheckpointInterval < 0 {
+		<-s.cpStop
+		return
+	}
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.persist.flush()
+		case <-s.cpStop:
+			return
+		}
+	}
+}
+
+// Flush checkpoints the state of every watch observed since its last
+// checkpoint. Snapshots are mirrored write-through and need no flushing.
+// It is a no-op on an in-memory Server; dcsd calls it on SIGTERM so a
+// graceful stop loses no watch progress.
+func (s *Server) Flush() {
+	if s.persist != nil {
+		s.persist.flush()
+	}
+}
+
 // Store exposes the snapshot registry, e.g. for preloading at startup.
 func (s *Server) Store() *Store { return s.store }
+
+// PersistStats reports the persistence counters (restored snapshot/watch
+// counts, write and restore errors); Enabled is false on an in-memory
+// Server. The same numbers are served on /healthz.
+func (s *Server) PersistStats() PersistStats {
+	if s.persist == nil {
+		return PersistStats{}
+	}
+	return s.persist.statsSnapshot()
+}
 
 // Close shuts the mining machinery down: requests waiting for a pool slot
 // are rejected with 503, and every queued or running async job is cancelled
 // (running solvers stop at their next checkpoint and record a cancelled
-// status with their partial result). The snapshot store and read-only
-// endpoints keep working; Close is idempotent.
+// status with their partial result). On a persistent Server the checkpoint
+// loop is stopped and outstanding watch state is flushed. The snapshot
+// store and read-only endpoints keep working; Close is idempotent.
 func (s *Server) Close() {
 	s.pool.close()
 	s.jobs.cancelAll()
+	if s.persist != nil {
+		s.cpOnce.Do(func() { close(s.cpStop) })
+		<-s.cpDone
+		s.persist.flush()
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -196,14 +287,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:    "ok",
-		Snapshots: s.store.Len(),
-		InFlight:  s.pool.InFlight(),
-		Waiting:   s.pool.Waiting(),
-		UptimeSec: time.Since(s.start).Seconds(),
-		DiffCache: s.dcache.stats(),
-		Jobs:      s.jobs.stats(),
-		Watches:   s.watches.stats(),
+		Status:      "ok",
+		Snapshots:   s.store.Len(),
+		InFlight:    s.pool.InFlight(),
+		Waiting:     s.pool.Waiting(),
+		UptimeSec:   time.Since(s.start).Seconds(),
+		DiffCache:   s.dcache.stats(),
+		Jobs:        s.jobs.stats(),
+		Watches:     s.watches.stats(),
+		Persistence: s.PersistStats(),
 	})
 }
 
@@ -236,7 +328,16 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad graph: %s", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.store.Put(req.Name, g))
+		info, err := s.store.Put(req.Name, g)
+		if err != nil {
+			// The in-memory registry has the new version, but the durable
+			// mirror does not: a 200 would promise a durability the disk
+			// refused, so fail loudly and let the client retry.
+			writeError(w, http.StatusInternalServerError,
+				"snapshot %q v%d stored in memory but failed to persist: %s", info.Name, info.Version, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
@@ -255,8 +356,14 @@ func (s *Server) handleSnapshotByName(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use DELETE")
 		return
 	}
-	if !s.store.Delete(name) {
+	ok, err := s.store.Delete(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError,
+			"snapshot %q deleted in memory but the deletion failed to persist: %s", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})

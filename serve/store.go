@@ -48,6 +48,25 @@ type Store struct {
 	// purge, so replacements through any path — the HTTP handler or an
 	// embedder calling Store().Put directly — drop the dead cache entries.
 	onReplace func(name string)
+	// persist, when set, mirrors every Put and Delete to durable storage
+	// (serve/persist.go), again outside the lock and through any mutation
+	// path. Restore and SeedVersion — the recovery entry points — do NOT
+	// fire it: recovery must not rewrite what it just read.
+	persist persistHook
+}
+
+// persistHook receives store mutations for write-through mirroring. Errors
+// propagate to Put/Delete so a caller is never told a write is durable when
+// the disk refused it.
+type persistHook interface {
+	// saveSnapshot durably records s; stale calls (a version older than the
+	// newest one saved for the name) are discarded by the implementation,
+	// so out-of-order delivery from concurrent Puts is harmless.
+	saveSnapshot(s *Snapshot) error
+	// deleteSnapshot durably records that name is gone while retaining its
+	// version counter (lastVersion), so a re-created name continues the
+	// monotonic sequence even across a restart.
+	deleteSnapshot(name string, lastVersion int) error
 }
 
 // NewStore returns an empty registry.
@@ -60,7 +79,12 @@ func NewStore() *Store {
 // Delete (see lastVersion). Names containing '/' cannot be addressed by
 // DELETE /v1/snapshots/{name}; the HTTP upload path and dcsd -load reject
 // them, and embedders calling Put directly should too.
-func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
+//
+// The error is always nil on an in-memory store. On a durable store
+// (serve.Open) it reports a failed write-through mirror: the in-memory
+// registry IS updated — readers see the new version — but the disk does
+// not have it, so a restart would serve the previous one.
+func (st *Store) Put(name string, g *dcs.Graph) (SnapshotInfo, error) {
 	st.mu.Lock()
 	version := st.lastVersion[name] + 1
 	st.lastVersion[name] = version
@@ -68,15 +92,20 @@ func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
 	st.snaps[name] = s
 	info := s.Info()
 	onReplace := st.onReplace
+	persist := st.persist
 	st.mu.Unlock()
 	// Outside the lock: the hook takes the cache lock, which itself reads the
 	// store (cache.mu → store.mu); calling under store.mu would invert that
 	// order. The store commit above still strictly precedes the purge, which
 	// is what the cache's put-veto protocol relies on.
+	var perr error
+	if persist != nil {
+		perr = persist.saveSnapshot(s)
+	}
 	if version > 1 && onReplace != nil {
 		onReplace(name)
 	}
-	return info
+	return info, perr
 }
 
 // Delete removes the named snapshot, reporting whether it was registered.
@@ -87,18 +116,55 @@ func (st *Store) Put(name string, g *dcs.Graph) SnapshotInfo {
 // (snapshotCurrent is false the moment the delete commits). The name's
 // version counter is retained, so a later re-creation continues the version
 // sequence instead of minting a second "version 1" with different edges.
-func (st *Store) Delete(name string) bool {
+// The error mirrors Put's: a durable store failed to record the deletion on
+// disk (the in-memory removal stands; a restart would resurrect the name).
+func (st *Store) Delete(name string) (bool, error) {
 	st.mu.Lock()
 	_, ok := st.snaps[name]
 	if ok {
 		delete(st.snaps, name)
 	}
+	lastVersion := st.lastVersion[name]
 	onReplace := st.onReplace
+	persist := st.persist
 	st.mu.Unlock()
+	var perr error
+	if ok && persist != nil {
+		perr = persist.deleteSnapshot(name, lastVersion)
+	}
 	if ok && onReplace != nil {
 		onReplace(name)
 	}
-	return ok
+	return ok, perr
+}
+
+// Restore inserts a recovered snapshot with its persisted version, seeding
+// the monotonic version counter, without firing the replace or persist
+// hooks — it is the boot-time inverse of the write-through mirror, not a
+// new mutation. An existing same-name snapshot with an equal or newer
+// version wins; the restore is then dropped.
+func (st *Store) Restore(s *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.snaps[s.Name]; ok && cur.Version >= s.Version {
+		return
+	}
+	st.snaps[s.Name] = s
+	if st.lastVersion[s.Name] < s.Version {
+		st.lastVersion[s.Name] = s.Version
+	}
+}
+
+// SeedVersion raises name's version counter to at least v without
+// registering a snapshot — used when recovery finds a tombstone, so a
+// deleted name re-created after a restart continues its version sequence
+// (the diff cache's (name, version) ABA protection relies on it).
+func (st *Store) SeedVersion(name string, v int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.lastVersion[name] < v {
+		st.lastVersion[name] = v
+	}
 }
 
 // Get resolves a name to its current snapshot.

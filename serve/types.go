@@ -41,6 +41,12 @@
 // next cancellation checkpoint, frees the pool slot, and (for deadlines) the
 // response carries the best-so-far partial result with "interrupted": true.
 //
+// A Server built with Open (dcsd -data) is durable: snapshots and their
+// monotonic version counters mirror write-through to a data directory and
+// watch state is checkpointed, so a restart recovers everything instead of
+// booting empty — see serve/persist.go and the PersistStats counters on
+// /healthz.
+//
 // The service exposes exactly the public API of package dcs; see README.md
 // for curl examples and cmd/dcsd for the binary.
 package serve
@@ -311,6 +317,28 @@ type WatchStats struct {
 	Anomalies    int `json:"anomalies"`
 }
 
+// PersistStats summarizes the persistence layer for /healthz. All counters
+// are zero (and Enabled false) on an in-memory server.
+type PersistStats struct {
+	// Enabled reports whether the server was built with Open (a data
+	// directory) rather than New (memory only).
+	Enabled bool `json:"enabled"`
+	// SnapshotsRestored/WatchesRestored count state recovered at boot.
+	SnapshotsRestored int `json:"snapshots_restored"`
+	WatchesRestored   int `json:"watches_restored"`
+	// RestoreErrors counts boot-time state that could not be recovered
+	// (unreadable manifests, checksum failures); the server boots degraded
+	// rather than not at all.
+	RestoreErrors int `json:"restore_errors"`
+	// SnapshotWrites counts write-through snapshot mirrors (Put and Delete).
+	SnapshotWrites int `json:"snapshot_writes"`
+	// WatchCheckpoints counts watch-state checkpoints written.
+	WatchCheckpoints int `json:"watch_checkpoints"`
+	// WriteErrors counts failed disk writes of either kind; the in-memory
+	// state stays authoritative when one fails.
+	WriteErrors int `json:"write_errors"`
+}
+
 // HealthResponse is the body returned by GET /healthz.
 type HealthResponse struct {
 	Status    string  `json:"status"`
@@ -324,6 +352,8 @@ type HealthResponse struct {
 	Jobs JobStats `json:"jobs"`
 	// Watches reports the streaming watch registry counters.
 	Watches WatchStats `json:"watches"`
+	// Persistence reports the durability layer's counters (serve.Open).
+	Persistence PersistStats `json:"persistence"`
 }
 
 // ErrorResponse carries any non-2xx body.

@@ -57,6 +57,42 @@ type watch struct {
 	head      int           // index of the oldest report when the ring is full
 	anomalies int
 	lastSeen  time.Time
+	// expectSnap/lastSnap mirror the tracker's expectation and the delta
+	// base at the end of the newest observation, under mu instead of obsMu:
+	// the persistence checkpointer reads them without ever waiting behind a
+	// mining solve. The graphs are immutable, so sharing the pointers is
+	// safe.
+	expectSnap *dcs.Graph
+	lastSnap   *dcs.Graph
+}
+
+// checkpointState captures everything a checkpoint persists, under mu only
+// (never obsMu — a checkpoint must not block behind a long solve). The
+// returned manifest carries no file names; the persister fills those in.
+func (w *watch) checkpointState() (watchManifest, *dcs.Graph, *dcs.Graph) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	man := watchManifest{
+		Name:           w.name,
+		N:              w.n,
+		Lambda:         w.lambda,
+		Measure:        w.measure,
+		MinDensity:     w.minDensity,
+		SolveTimeoutMS: float64(w.solveTimeout) / float64(time.Millisecond),
+		ReportCap:      w.ringCap,
+		CreatedAt:      w.created,
+		Step:           w.step,
+		Anomalies:      w.anomalies,
+	}
+	if !w.lastSeen.IsZero() {
+		t := w.lastSeen
+		man.LastSeen = &t
+	}
+	// Unroll the ring oldest-first, the same order GET .../reports serves.
+	man.Reports = make([]WatchReport, 0, len(w.reports))
+	man.Reports = append(man.Reports, w.reports[w.head:]...)
+	man.Reports = append(man.Reports, w.reports[:w.head]...)
+	return man, w.expectSnap, w.lastSnap
 }
 
 func (w *watch) info() WatchInfo {
@@ -134,11 +170,37 @@ func (reg *watchRegistry) add(w *watch, maxWatches int) *httpError {
 	return nil
 }
 
+// restore inserts a recovered watch at boot, bypassing the max-watches
+// admission (the state predates this process). A duplicate name is refused.
+func (reg *watchRegistry) restore(w *watch) bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.watches[w.name]; ok {
+		return false
+	}
+	reg.watches[w.name] = w
+	return true
+}
+
 func (reg *watchRegistry) get(name string) (*watch, bool) {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	w, ok := reg.watches[name]
 	return w, ok
+}
+
+// removeIf deletes the name only while w is still its current entry,
+// reporting whether it removed anything — the identity-checked variant for
+// rollback paths, where a plain by-name remove could take out a watch that
+// concurrently replaced w.
+func (reg *watchRegistry) removeIf(name string, w *watch) bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if cur, ok := reg.watches[name]; ok && cur == w {
+		delete(reg.watches, name)
+		return true
+	}
+	return false
 }
 
 // remove deletes the named watch, reporting whether it existed. An observe
@@ -267,6 +329,7 @@ func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
 	if err != nil {
 		return nil, badRequest("%s", err)
 	}
+	empty := dcs.NewBuilder(req.N).Build()
 	w := &watch{
 		name:         req.Name,
 		n:            req.N,
@@ -277,13 +340,30 @@ func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
 		ringCap:      ringCap,
 		created:      time.Now(),
 		tracker:      tracker,
-		last:         dcs.NewBuilder(req.N).Build(), // delta base before the first tick
+		last:         empty, // delta base before the first tick
+		expectSnap:   empty,
+		lastSnap:     empty,
 	}
 	if w.lambda == 0 {
 		w.lambda = 0.3 // echo the applied default in infos
 	}
 	if herr := s.watches.add(w, s.cfg.MaxWatches); herr != nil {
 		return nil, herr
+	}
+	// Write-through: a registered watch must survive a restart even if it is
+	// never observed before the process dies. A failed write rolls the
+	// registration back — a 200 here promises durability.
+	if s.persist != nil {
+		if err := s.persist.checkpointWatch(w); err != nil {
+			// Identity-checked rollback: if a concurrent delete+re-register
+			// already replaced w under this name, both the registry entry
+			// and the files on disk belong to the new owner.
+			if s.watches.removeIf(w.name, w) {
+				s.persist.deleteWatch(w.name)
+			}
+			return nil, &httpError{status: http.StatusInternalServerError,
+				msg: "failed to persist watch " + w.name + ": " + err.Error()}
+		}
 	}
 	return w, nil
 }
@@ -396,6 +476,12 @@ func (s *Server) handleWatchByName(w http.ResponseWriter, r *http.Request, name 
 			writeError(w, http.StatusNotFound, "unknown watch %q", name)
 			return
 		}
+		// After the registry remove: a concurrent checkpoint flush either
+		// already failed its registration check or serializes behind this
+		// deletion on the persister lock — either way the files stay gone.
+		if s.persist != nil {
+			s.persist.deleteWatch(name)
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
@@ -477,9 +563,17 @@ func (s *Server) handleWatchObserve(w http.ResponseWriter, r *http.Request, name
 		wt.reports[wt.head] = report
 		wt.head = (wt.head + 1) % wt.ringCap
 	}
+	// Mirror the post-fold expectation and delta base for the checkpointer
+	// (Expectation is lock-cheap here: the tracker's observe already
+	// finished).
+	wt.expectSnap = wt.tracker.Expectation()
+	wt.lastSnap = observed
 	wt.mu.Unlock()
 
 	s.watches.recordObservation(report.Anomalous)
+	if s.persist != nil {
+		s.persist.markDirty(wt)
+	}
 	writeJSON(w, http.StatusOK, report)
 }
 
