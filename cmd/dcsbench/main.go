@@ -7,14 +7,16 @@
 //	dcsbench [-quick] [-seed N] [table2|table4|table5|table6|table7|fig2|
 //	                             table8|table9|table10|table11|table12|
 //	                             table13|fig3|table14|all]
-//	dcsbench -json [-quick]
+//	dcsbench -json [-par] [-quick]
 //
 // With no experiment argument it runs everything except the slow timing
 // experiments (table7, fig2); "all" includes those too. With -json it
 // instead runs the core-substrate micro-benchmarks (the BenchmarkCore*
 // suite) and emits one machine-readable JSON document — name, ns/op,
 // allocs/op, bytes/op per benchmark — for the repository's BENCH_*.json
-// perf trajectory.
+// perf trajectory. -json -par runs the parallel-solver sweep instead: each
+// parallel workload at degrees 1/2/4/NumCPU (the BENCH_par.json payload),
+// verifying on the way that every degree produced the identical result.
 package main
 
 import (
@@ -31,9 +33,11 @@ func main() {
 	seed := flag.Int64("seed", 0, "dataset seed (0 = default)")
 	jsonOut := flag.Bool("json", false,
 		"run the core micro-benchmarks and emit JSON (name, ns/op, allocs/op) instead of paper tables")
+	parSweep := flag.Bool("par", false,
+		"with -json: run the parallelism sweep (degrees 1/2/4/NumCPU) instead of the core suite")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dcsbench [-quick] [-seed N] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "       dcsbench -json [-quick]\n\n")
+		fmt.Fprintf(os.Stderr, "       dcsbench -json [-par] [-quick]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments: table2 table4 table5 table6 table7 fig2 table8 table9\n")
 		fmt.Fprintf(os.Stderr, "             table10 table11 table12 table13 fig3 table14 all\n")
 		flag.PrintDefaults()
@@ -45,11 +49,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dcsbench: -json takes no experiment arguments")
 			os.Exit(2)
 		}
-		if err := runCoreJSON(os.Stdout, *quick, *seed); err != nil {
+		run := runCoreJSON
+		if *parSweep {
+			run = runParJSON
+		}
+		if err := run(os.Stdout, *quick, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *parSweep {
+		fmt.Fprintln(os.Stderr, "dcsbench: -par requires -json")
+		os.Exit(2)
 	}
 
 	s := &bench.Suite{Quick: *quick, Seed: *seed}

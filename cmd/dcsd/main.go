@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-cache 64]
+//	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-maxpar 0] [-cache 64]
 //	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64]
 //	     [-data DIR] [-checkpoint 30s] [-load name=graph.tsv ...]
+//
+// -parallelism sets the default worker-goroutine degree inside each solve
+// (requests may override it with their "parallelism" field) and -maxpar caps
+// what a request may ask for: a request beyond the cap is clamped, and every
+// response echoes the degree actually used.
 //
 // -data makes the server durable: snapshots (and their version counters)
 // are mirrored to DIR write-through, streaming watches are checkpointed
@@ -57,7 +62,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pool := flag.Int("pool", 4, "max concurrent mining requests (further requests queue)")
 	parallelism := flag.Int("parallelism", 0,
-		"worker goroutines per affinity job (0 = sequential, -1 = GOMAXPROCS)")
+		"default worker goroutines per solve (0 = sequential, -1 = GOMAXPROCS)")
+	maxPar := flag.Int("maxpar", 0,
+		"cap on per-request parallelism (0 = GOMAXPROCS, -1 = disable parallel solves)")
 	cache := flag.Int("cache", 64,
 		"difference-graph LRU entries (0 disables caching)")
 	timeout := flag.Duration("timeout", 0,
@@ -95,6 +102,10 @@ func main() {
 	if par < 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	maxParallelism := *maxPar
+	if maxParallelism < 0 {
+		maxParallelism = -1 // Config convention: negative caps at 1
+	}
 	cacheSize := *cache
 	if cacheSize <= 0 {
 		cacheSize = -1 // Config convention: 0 means "default", negative disables
@@ -113,6 +124,7 @@ func main() {
 	cfg := serve.Config{
 		PoolSize:           *pool,
 		Parallelism:        par,
+		MaxParallelism:     maxParallelism,
 		DiffCacheSize:      cacheSize,
 		SolveTimeout:       *timeout,
 		MaxQueue:           *maxQueue,
@@ -164,8 +176,8 @@ func main() {
 		log.Printf("%s: watch state flushed, exiting", sig)
 	}()
 
-	log.Printf("listening on %s (pool=%d, parallelism=%d, timeout=%v, snapshots=%d)",
-		*addr, *pool, par, *timeout, srv.Store().Len())
+	log.Printf("listening on %s (pool=%d, parallelism=%d, maxpar=%d, timeout=%v, snapshots=%d)",
+		*addr, *pool, par, *maxPar, *timeout, srv.Store().Len())
 	err := httpSrv.ListenAndServe()
 	if err != http.ErrServerClosed {
 		log.Fatal(err)

@@ -4,11 +4,15 @@
 // Usage:
 //
 //	dcsfind -g1 old.tsv -g2 new.tsv [-measure ad|ga|weight] [-alpha 1]
-//	        [-labels labels.txt] [-top K] [-timeout 0] [-format auto]
+//	        [-labels labels.txt] [-top K] [-parallelism 0] [-timeout 0]
+//	        [-format auto]
 //
 // With -measure ga and -top K > 1, it prints the top-K contrast cliques
 // instead of just the best one. -timeout bounds the solve: when it expires
 // the best-so-far partial result is printed, marked "(interrupted)".
+// -parallelism spreads one solve over that many worker goroutines
+// (0 = sequential, -1 = GOMAXPROCS); the result is identical at every
+// degree.
 // -format defaults to auto: the input format follows each file's extension
 // (.dcsg binary, .mtx/.mm MatrixMarket, .snap SNAP, anything else TSV);
 // tsv, snap, mm and bin force one format for both files.
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	dcs "github.com/dcslib/dcs"
 	"github.com/dcslib/dcs/internal/dataio"
@@ -34,6 +39,8 @@ func main() {
 	alpha := flag.Float64("alpha", 1, "difference graph GD = G2 − alpha*G1")
 	labelsPath := flag.String("labels", "", "optional label file (one label per vertex line)")
 	top := flag.Int("top", 1, "with -measure ga: report the top K contrast cliques")
+	parallelism := flag.Int("parallelism", 0,
+		"worker goroutines inside the solve (0 = sequential, -1 = GOMAXPROCS)")
 	format := flag.String("format", "auto",
 		"input format: auto (by extension), tsv (native), snap, mm (MatrixMarket), bin (binary "+dataio.BinaryExt+")")
 	timeout := flag.Duration("timeout", 0,
@@ -84,10 +91,15 @@ func main() {
 		}
 		return ""
 	}
+	par := *parallelism
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	opt := &dcs.Options{Parallelism: par}
 
 	switch *measure {
 	case "ad":
-		res := dcs.FindAverageDegreeDCSOnCtx(ctx, gd)
+		res := dcs.FindAverageDegreeDCSOnParCtx(ctx, gd, par)
 		fmt.Printf("DCS (average degree): |S|=%d density=%.6g ratio=%.3g clique=%v%s\n",
 			len(res.S), res.Density, res.Ratio, res.PositiveClique, mark(res.Interrupted))
 		for _, v := range res.S {
@@ -95,7 +107,7 @@ func main() {
 		}
 	case "ga":
 		if *top > 1 {
-			cs, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, nil)
+			cs, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, opt)
 			if interrupted {
 				fmt.Println("(interrupted: partial clique list)")
 			}
@@ -111,7 +123,7 @@ func main() {
 			}
 			return
 		}
-		res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, nil)
+		res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, opt)
 		fmt.Printf("DCS (graph affinity): |S|=%d f=%.6g clique=%v%s\n",
 			len(res.S), res.Affinity, res.PositiveClique, mark(res.Interrupted))
 		for _, v := range res.S {

@@ -44,6 +44,20 @@
 // without the completed run's guarantees. The context-free names delegate to
 // context.Background() and never interrupt; the checkpoints then cost under
 // 2% on the solver hot loops.
+//
+// # Parallelism
+//
+// A single solve can spread its work over a bounded worker pool. The
+// average-degree and ratio solvers take an explicit workers argument in
+// their *Par variants (FindAverageDegreeDCSOnPar, TopKAverageDegreeDCSOnPar,
+// FindMaxRatioContrastPar); the graph-affinity solvers read
+// Options.Parallelism. Degrees ≤ 1 select the sequential path and degrees
+// above GOMAXPROCS are capped. Parallel solves are bitwise-deterministic:
+// for a fixed input the result is identical at every parallelism degree,
+// including degree 1 — the engines only parallelize steps whose reduction
+// order is fixed (per-component peels with a deterministic merge,
+// speculative probes committed in sequential order). Cancellation composes:
+// a cancelled parallel solve still returns its best-so-far partial.
 package dcs
 
 import (
@@ -152,6 +166,21 @@ func FindAverageDegreeDCSOn(gd *Graph) AverageDegreeResult {
 // cancellation.
 func FindAverageDegreeDCSOnCtx(ctx context.Context, gd *Graph) AverageDegreeResult {
 	return core.DCSGreedyCtx(ctx, gd)
+}
+
+// FindAverageDegreeDCSOnPar is FindAverageDegreeDCSOn with the solve spread
+// over at most workers goroutines: the Greedy(GD) and Greedy(GD+) peels run
+// concurrently and each peel fans its connected components out on the pool.
+// The result is bitwise identical to the sequential solver at every degree
+// (see the package documentation).
+func FindAverageDegreeDCSOnPar(gd *Graph, workers int) AverageDegreeResult {
+	return core.DCSGreedyPar(gd, workers)
+}
+
+// FindAverageDegreeDCSOnParCtx is FindAverageDegreeDCSOnPar with cooperative
+// cancellation.
+func FindAverageDegreeDCSOnParCtx(ctx context.Context, gd *Graph, workers int) AverageDegreeResult {
+	return core.DCSGreedyParCtx(ctx, gd, workers)
 }
 
 // FindGraphAffinityDCS finds the embedding maximizing x'A2x − x'A1x using
@@ -266,6 +295,21 @@ func FindMaxRatioContrastCtx(ctx context.Context, g1, g2 *Graph) RatioContrastRe
 	return core.MaxRatioContrastCtx(ctx, g1, g2, 0)
 }
 
+// FindMaxRatioContrastPar is FindMaxRatioContrast with up to workers
+// binary-search probes evaluated concurrently: probes are run speculatively
+// down the search's decision tree and only the sequential search's path is
+// committed, so the certified α and witness are bitwise identical to the
+// sequential solver at every degree.
+func FindMaxRatioContrastPar(g1, g2 *Graph, workers int) RatioContrastResult {
+	return core.MaxRatioContrastPar(g1, g2, 0, workers)
+}
+
+// FindMaxRatioContrastParCtx is FindMaxRatioContrastPar with cooperative
+// cancellation.
+func FindMaxRatioContrastParCtx(ctx context.Context, g1, g2 *Graph, workers int) RatioContrastResult {
+	return core.MaxRatioContrastParCtx(ctx, g1, g2, 0, workers)
+}
+
 // TopKAverageDegreeDCS mines up to k vertex-disjoint density contrast
 // subgraphs under the average-degree measure by iterating DCSGreedy on the
 // difference graph with previously found vertices removed. It extends the
@@ -294,6 +338,19 @@ func TopKAverageDegreeDCSOn(gd *Graph, k int) []AverageDegreeResult {
 // cancellation.
 func TopKAverageDegreeDCSOnCtx(ctx context.Context, gd *Graph, k int) (results []AverageDegreeResult, interrupted bool) {
 	return core.TopKAverageDegreeCtx(ctx, gd, k)
+}
+
+// TopKAverageDegreeDCSOnPar is TopKAverageDegreeDCSOn with each DCSGreedy
+// iteration run on at most workers goroutines. The picks are bitwise
+// identical to the sequential solver at every degree.
+func TopKAverageDegreeDCSOnPar(gd *Graph, k, workers int) []AverageDegreeResult {
+	return core.TopKAverageDegreePar(gd, k, workers)
+}
+
+// TopKAverageDegreeDCSOnParCtx is TopKAverageDegreeDCSOnPar with cooperative
+// cancellation.
+func TopKAverageDegreeDCSOnParCtx(ctx context.Context, gd *Graph, k, workers int) (results []AverageDegreeResult, interrupted bool) {
+	return core.TopKAverageDegreeParCtx(ctx, gd, k, workers)
 }
 
 // TopKGraphAffinityDCS mines up to k vertex-disjoint positive cliques with

@@ -16,6 +16,7 @@ import (
 
 	"github.com/dcslib/dcs/internal/densest"
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/par"
 	"github.com/dcslib/dcs/internal/runstate"
 )
 
@@ -74,7 +75,28 @@ func DCSGreedyCtx(ctx context.Context, gd *graph.Graph) ADResult {
 	return dcsGreedyRS(gd, runstate.New(ctx))
 }
 
+// DCSGreedyPar is DCSGreedy with the expensive parts spread over at most
+// workers goroutines: the Greedy(GD) and Greedy(GD+) peels run concurrently,
+// and each peel fans its connected components out on the worker pool (see
+// densest.GreedyParRS). The candidate comparison, component refinement and
+// certificate arithmetic stay sequential, so the result is bitwise identical
+// to DCSGreedy at every degree; workers ≤ 1 is exactly DCSGreedy.
+func DCSGreedyPar(gd *graph.Graph, workers int) ADResult {
+	return dcsGreedyParRS(gd, runstate.New(nil), workers)
+}
+
+// DCSGreedyParCtx is DCSGreedyPar with cooperative cancellation, combining
+// the contracts of DCSGreedyCtx and DCSGreedyPar: a cancelled parallel solve
+// still returns the best subgraph assembled from the completed peel prefixes.
+func DCSGreedyParCtx(ctx context.Context, gd *graph.Graph, workers int) ADResult {
+	return dcsGreedyParRS(gd, runstate.New(ctx), workers)
+}
+
 func dcsGreedyRS(gd *graph.Graph, rs *runstate.State) ADResult {
+	return dcsGreedyParRS(gd, rs, 1)
+}
+
+func dcsGreedyParRS(gd *graph.Graph, rs *runstate.State, workers int) ADResult {
 	maxEdge, ok := gd.MaxEdge()
 	if !ok || maxEdge.W <= 0 {
 		// No positive edge: any single vertex is optimal with density 0.
@@ -88,8 +110,25 @@ func dcsGreedyRS(gd *graph.Graph, rs *runstate.State) ADResult {
 	gdp := gd.PositivePartCompact()
 
 	S := []int{maxEdge.U, maxEdge.V}
-	s1 := densest.GreedyRS(gd, rs)
-	s2 := densest.GreedyRS(gdp, rs)
+	var s1, s2 densest.Result
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		s1 = densest.GreedyRS(gd, rs)
+		s2 = densest.GreedyRS(gdp, rs)
+	} else {
+		graphs := [2]*graph.Graph{gd, gdp}
+		var out [2]densest.Result
+		var cut [2]bool
+		par.Run(2, 2, func(i int) {
+			wrs := rs.Fork()
+			out[i] = densest.GreedyParRS(graphs[i], wrs, workers)
+			cut[i] = wrs.Interrupted()
+		})
+		if cut[0] || cut[1] {
+			rs.Cancelled() // latch the caller's state (context is done)
+		}
+		s1, s2 = out[0], out[1]
+	}
 
 	best := S
 	bestRho := gd.AverageDegreeOf(S)

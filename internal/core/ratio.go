@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/par"
 	"github.com/dcslib/dcs/internal/runstate"
 )
 
@@ -47,7 +48,32 @@ func MaxRatioContrastCtx(ctx context.Context, g1, g2 *graph.Graph, iters int) Ra
 	return maxRatioContrastRS(g1, g2, iters, runstate.New(ctx))
 }
 
+// MaxRatioContrastPar is MaxRatioContrast with concurrent binary-search
+// probes: each round expands the first `workers` nodes of the search's
+// decision tree in breadth-first order — every node is an (lo, hi) interval
+// whose probe is the midpoint, with a feasible child (mid, hi) and an
+// infeasible child (lo, mid) — probes them all speculatively in parallel, and
+// then commits only the path the sequential search would have walked.
+// Because each probe's outcome is a deterministic function of its α alone,
+// the committed (lo, hi) trajectory is bitwise identical to the sequential
+// search at every degree; roughly half the speculative probes are wasted in
+// exchange for advancing ⌈log2(workers)⌉+1 levels per round.
+func MaxRatioContrastPar(g1, g2 *graph.Graph, iters, workers int) RatioResult {
+	return maxRatioContrastParRS(g1, g2, iters, runstate.New(nil), workers)
+}
+
+// MaxRatioContrastParCtx is MaxRatioContrastPar with cooperative
+// cancellation: the round in flight finishes and the best certified witness
+// committed so far is returned, tagged Interrupted.
+func MaxRatioContrastParCtx(ctx context.Context, g1, g2 *graph.Graph, iters, workers int) RatioResult {
+	return maxRatioContrastParRS(g1, g2, iters, runstate.New(ctx), workers)
+}
+
 func maxRatioContrastRS(g1, g2 *graph.Graph, iters int, rs *runstate.State) RatioResult {
+	return maxRatioContrastParRS(g1, g2, iters, rs, 1)
+}
+
+func maxRatioContrastParRS(g1, g2 *graph.Graph, iters int, rs *runstate.State, workers int) RatioResult {
 	if iters <= 0 {
 		iters = 60
 	}
@@ -88,9 +114,9 @@ func maxRatioContrastRS(g1, g2 *graph.Graph, iters int, rs *runstate.State) Rati
 	if hi == 0 {
 		return RatioResult{Alpha: 0}
 	}
-	feasible := func(alpha float64) ([]int, bool) {
+	feasible := func(alpha float64, frs *runstate.State) ([]int, bool) {
 		gd := graph.DifferenceAlpha(g1, g2, alpha)
-		res := dcsGreedyRS(gd, rs)
+		res := dcsGreedyRS(gd, frs)
 		// An interrupted probe with positive density is still a valid
 		// certificate — any S with ρ_D(S) > 0 proves ρ2(S) > α·ρ1(S), no
 		// matter how early the greedy was cut — so the witness is kept (the
@@ -104,7 +130,7 @@ func maxRatioContrastRS(g1, g2 *graph.Graph, iters int, rs *runstate.State) Rati
 	}
 	var bestS []int
 	lo := 0.0
-	if S, ok := feasible(0); ok {
+	if S, ok := feasible(0, rs); ok {
 		bestS = S
 	} else {
 		if rs.Interrupted() {
@@ -113,15 +139,79 @@ func maxRatioContrastRS(g1, g2 *graph.Graph, iters int, rs *runstate.State) Rati
 		return RatioResult{Alpha: 0}
 	}
 	hiBound := hi * (1 + 1e-9)
-	for it := 0; it < iters && hiBound-lo > 1e-12*(1+hiBound); it++ {
-		if rs.Cancelled() {
-			break // keep the last certified witness
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		for it := 0; it < iters && hiBound-lo > 1e-12*(1+hiBound); it++ {
+			if rs.Cancelled() {
+				break // keep the last certified witness
+			}
+			mid := (lo + hiBound) / 2
+			if S, ok := feasible(mid, rs); ok {
+				bestS, lo = S, mid
+			} else {
+				hiBound = mid
+			}
 		}
-		mid := (lo + hiBound) / 2
-		if S, ok := feasible(mid); ok {
-			bestS, lo = S, mid
-		} else {
-			hiBound = mid
+	} else {
+		// Speculative rounds over the decision tree: node (l, h) probes
+		// α = (l+h)/2 and branches to (mid, h) on feasible, (l, mid) on
+		// infeasible. Each round probes the first `workers` BFS nodes in
+		// parallel and then replays the sequential search, consuming a probe
+		// only while its node is in the batch. Under cancellation the round
+		// in flight is discarded wholesale (forked probes may have been cut,
+		// so their verdicts are not trustworthy) and the last committed
+		// witness survives.
+		type node struct{ l, h float64 }
+		it := 0
+		for it < iters && hiBound-lo > 1e-12*(1+hiBound) {
+			if rs.Cancelled() {
+				break
+			}
+			batch := []node{{lo, hiBound}}
+			for i := 0; i < len(batch) && len(batch) < workers; i++ {
+				m := (batch[i].l + batch[i].h) / 2
+				batch = append(batch, node{m, batch[i].h})
+				if len(batch) < workers {
+					batch = append(batch, node{batch[i].l, m})
+				}
+			}
+			type verdict struct {
+				S  []int
+				ok bool
+			}
+			verdicts := make([]verdict, len(batch))
+			cut := make([]bool, len(batch))
+			par.Run(workers, len(batch), func(i int) {
+				wrs := rs.Fork()
+				verdicts[i].S, verdicts[i].ok = feasible((batch[i].l+batch[i].h)/2, wrs)
+				cut[i] = wrs.Interrupted()
+			})
+			for _, c := range cut {
+				if c {
+					rs.Cancelled() // latch; the top of the loop bails out
+					break
+				}
+			}
+			probed := make(map[node]int, len(batch))
+			for i, nd := range batch {
+				probed[nd] = i
+			}
+			for it < iters && hiBound-lo > 1e-12*(1+hiBound) {
+				if rs.Cancelled() {
+					break
+				}
+				i, ok := probed[node{lo, hiBound}]
+				if !ok {
+					break // path left the batch; next round re-roots here
+				}
+				mid := (lo + hiBound) / 2
+				if verdicts[i].ok {
+					bestS, lo = verdicts[i].S, mid
+				} else {
+					hiBound = mid
+				}
+				it++
+			}
 		}
 	}
 	d1 := g1.AverageDegreeOf(bestS)

@@ -28,9 +28,10 @@ type GAOptions struct {
 	MaxReplicatorIter int
 	// Parallelism is the number of worker goroutines used by the
 	// multi-initialization drivers (SEACDRefineFull, SEARefineFull,
-	// CollectCliques). 0 or 1 means sequential; results are deterministic
-	// either way. NewSEA stays sequential: its smart-init pruning is
-	// inherently order-dependent.
+	// CollectCliques) and by NewSEA's smart-initialization loop, which runs
+	// speculative batches of inits and commits them under the sequential
+	// pruning rule (see newSEAPar). 0 or 1 means sequential; results are
+	// bitwise identical at every degree. Degrees above GOMAXPROCS are capped.
 	Parallelism int
 }
 

@@ -34,11 +34,32 @@ func TopKAverageDegreeCtx(ctx context.Context, gd *graph.Graph, k int) (results 
 	return topKAverageDegreeRS(gd, k, runstate.New(ctx))
 }
 
+// TopKAverageDegreePar is TopKAverageDegree with each DCSGreedy iteration run
+// on at most workers goroutines (see DCSGreedyPar). The outer loop is
+// inherently sequential — every pick depends on the previous strip — so the
+// parallelism lives inside the per-k solve; results are bitwise identical to
+// the sequential path at every degree.
+func TopKAverageDegreePar(gd *graph.Graph, k, workers int) []ADResult {
+	out, _ := topKAverageDegreeParRS(gd, k, runstate.New(nil), workers)
+	return out
+}
+
+// TopKAverageDegreeParCtx is TopKAverageDegreePar with cooperative
+// cancellation, with the same partial-result contract as
+// TopKAverageDegreeCtx.
+func TopKAverageDegreeParCtx(ctx context.Context, gd *graph.Graph, k, workers int) (results []ADResult, interrupted bool) {
+	return topKAverageDegreeParRS(gd, k, runstate.New(ctx), workers)
+}
+
 func topKAverageDegreeRS(gd *graph.Graph, k int, rs *runstate.State) ([]ADResult, bool) {
+	return topKAverageDegreeParRS(gd, k, rs, 1)
+}
+
+func topKAverageDegreeParRS(gd *graph.Graph, k int, rs *runstate.State, workers int) ([]ADResult, bool) {
 	var out []ADResult
 	work := gd
 	for len(out) < k {
-		res := dcsGreedyRS(work, rs)
+		res := dcsGreedyParRS(work, rs, workers)
 		if res.Interrupted {
 			// With completed picks in hand, the truncated pick is discarded
 			// (not comparable to them). With none, it *is* the best-so-far

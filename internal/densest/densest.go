@@ -19,6 +19,7 @@ import (
 
 	"github.com/dcslib/dcs/internal/graph"
 	"github.com/dcslib/dcs/internal/maxflow"
+	"github.com/dcslib/dcs/internal/par"
 	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/vheap"
 )
@@ -38,7 +39,7 @@ type Result struct {
 // The empty graph yields an empty result; an edgeless graph yields a single
 // vertex with density 0.
 func Greedy(g *graph.Graph) Result {
-	return GreedyRS(g, runstate.New(nil))
+	return GreedyParRS(g, runstate.New(nil), 1)
 }
 
 // GreedyRS is Greedy with a cancellation checkpoint per peeling step. When rs
@@ -48,20 +49,223 @@ func Greedy(g *graph.Graph) Result {
 // current prefix is always evaluated before the checkpoint, so the result is
 // never empty on a non-empty graph.
 func GreedyRS(g *graph.Graph, rs *runstate.State) Result {
+	return GreedyParRS(g, rs, 1)
+}
+
+// GreedyPar is Greedy with the peel distributed over at most workers
+// goroutines; see GreedyParRS for the parallel round design. Results are
+// bitwise identical at every degree.
+func GreedyPar(g *graph.Graph, workers int) Result {
+	return GreedyParRS(g, runstate.New(nil), workers)
+}
+
+// GreedyParRS is the parallel peeling engine behind every Greedy variant.
+//
+// A single global heap peel looks inherently sequential, but it decomposes
+// exactly along connected components: edges never cross components, so a
+// component's degrees change only when its own vertices are removed, and the
+// subsequence of the global removal order restricted to a component C equals
+// C's standalone peel order (the global minimum is always some component's
+// front, and within a component both peels break degree ties by ascending
+// vertex id). The engine therefore
+//
+//  1. partitions the graph into connected components (one O(n+m) sweep);
+//  2. peels each component independently — these are the expensive
+//     O((m_C+n_C) log n_C) parts and run on the worker pool — recording each
+//     component's removal order, pop-time degrees and initial total degree;
+//  3. replays the global peel as a k-way merge of the per-component pop
+//     sequences, keyed by (pop-time degree, vertex id) — the exact priority
+//     the global heap would use — evaluating the density of every global
+//     prefix with the same floating-point operations in the same order.
+//
+// Every arithmetic step is either per-component-sequential or performed in
+// the deterministic merge, so the result is bitwise identical for every
+// parallelism degree; degree 1 runs the same code path inline. Cancellation
+// is cooperative: each worker checkpoints once per pop, and a cancelled peel
+// merges whatever prefixes completed — still a valid subgraph with an exact
+// density, never empty on a non-empty graph.
+func GreedyParRS(g *graph.Graph, rs *runstate.State, workers int) Result {
 	n := g.N()
 	if n == 0 {
 		return Result{}
 	}
-	deg := make([]float64, n)
+	workers = par.Workers(workers)
+	comps, loc := componentLists(g)
+	peels := make([]compPeel, len(comps))
+	if workers <= 1 || len(comps) < 2 {
+		// Inline: rs is used directly, preserving its amortization counter and
+		// latching interruption on the caller's state.
+		for i := range comps {
+			peels[i] = peelComponent(g, comps[i], loc, rs)
+		}
+	} else {
+		cut := make([]bool, len(comps))
+		par.Run(workers, len(comps), func(i int) {
+			// A State is single-goroutine; fork one per task. Fork only reads
+			// the immutable done channel, so concurrent forks are safe.
+			wrs := rs.Fork()
+			peels[i] = peelComponent(g, comps[i], loc, wrs)
+			cut[i] = wrs.Interrupted()
+		})
+		for _, c := range cut {
+			if c {
+				// A worker can only observe cancellation after the context is
+				// done, so this poll latches the caller's state too.
+				rs.Cancelled()
+				break
+			}
+		}
+	}
+	return mergePeels(n, peels)
+}
+
+// compPeel is one component's recorded peel: the removal order (global ids),
+// the weighted degree each vertex had at its pop, and the component's initial
+// total degree. order may be short of the component size when the peel was
+// cancelled mid-way.
+type compPeel struct {
+	order  []int
+	popDeg []float64
+	td     float64
+}
+
+// componentLists partitions all vertices (masked and isolated ones form
+// singleton components) into connected components. Component lists are in
+// ascending vertex order and components are ordered by smallest member; loc
+// maps each vertex to its index within its component — both facts the peel
+// and merge rely on for deterministic tie-breaking.
+func componentLists(g *graph.Graph) (comps [][]int, loc []int32) {
+	n := g.N()
+	cid := make([]int32, n)
+	for i := range cid {
+		cid[i] = -1
+	}
+	var stack []int
+	nc := int32(0)
 	for v := 0; v < n; v++ {
-		deg[v] = g.WeightedDegree(v)
+		if cid[v] >= 0 {
+			continue
+		}
+		id := nc
+		nc++
+		cid[v] = id
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.VisitNeighbors(u, func(w int, _ float64) {
+				if cid[w] < 0 {
+					cid[w] = id
+					stack = append(stack, w)
+				}
+			})
+		}
+	}
+	counts := make([]int32, nc)
+	for _, id := range cid {
+		counts[id]++
+	}
+	arena := make([]int, n)
+	comps = make([][]int, nc)
+	pos := int32(0)
+	for i := range comps {
+		comps[i] = arena[pos:pos:(pos + counts[i])]
+		pos += counts[i]
+	}
+	loc = make([]int32, n)
+	for v := 0; v < n; v++ {
+		id := cid[v]
+		loc[v] = int32(len(comps[id]))
+		comps[id] = append(comps[id], v)
+	}
+	return comps, loc
+}
+
+// peelComponent runs the heap peel restricted to one component, over local
+// indices (vheap's tie-break by local index matches ascending global id,
+// since verts is sorted). One checkpoint per pop, exactly like the classic
+// single-heap loop.
+func peelComponent(g *graph.Graph, verts []int, loc []int32, rs *runstate.State) compPeel {
+	nc := len(verts)
+	deg := make([]float64, nc)
+	for i, v := range verts {
+		deg[i] = g.WeightedDegree(v)
+	}
+	var td float64
+	for _, d := range deg {
+		td += d
 	}
 	h := vheap.New(deg)
+	order := make([]int, 0, nc)
+	popDeg := make([]float64, 0, nc)
+	for h.Len() > 0 {
+		if rs.Checkpoint() {
+			break
+		}
+		i, di := h.PopMin()
+		order = append(order, verts[i])
+		popDeg = append(popDeg, di)
+		g.VisitNeighbors(verts[i], func(u int, w float64) {
+			if j := int(loc[u]); h.Contains(j) {
+				h.Add(j, -w)
+			}
+		})
+	}
+	return compPeel{order: order, popDeg: popDeg, td: td}
+}
 
-	// W(S) in the paper convention is the sum of in-subgraph weighted degrees.
+// mergePeels replays the global peel from the per-component records: a k-way
+// merge by (pop-time degree, vertex id) — the global heap's priority — while
+// tracking W(S) and the best prefix density exactly as the classic loop did.
+func mergePeels(n int, peels []compPeel) Result {
+	// W(S) in the paper convention is the sum of in-subgraph weighted degrees;
+	// summed in component order, deterministically at every degree.
 	var totalDeg float64
-	for _, d := range deg {
-		totalDeg += d
+	for i := range peels {
+		totalDeg += peels[i].td
+	}
+	// Min-heap of component indices keyed by their front pop.
+	cur := make([]int, len(peels))
+	heap := make([]int, 0, len(peels))
+	less := func(a, b int) bool {
+		da, db := peels[a].popDeg[cur[a]], peels[b].popDeg[cur[b]]
+		if da != db {
+			return da < db
+		}
+		return peels[a].order[cur[a]] < peels[b].order[cur[b]]
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for c := range peels {
+		if len(peels[c].order) > 0 {
+			heap = append(heap, c)
+			siftUp(len(heap) - 1)
+		}
 	}
 
 	bestDensity := math.Inf(-1)
@@ -76,19 +280,21 @@ func GreedyRS(g *graph.Graph, rs *runstate.State) Result {
 			bestDensity = rho
 			bestSize = size
 		}
-		if rs.Checkpoint() {
-			break
+		if len(heap) == 0 {
+			break // cancelled peels exhausted; keep the best evaluated prefix
 		}
-		v, dv := h.PopMin()
+		c := heap[0]
+		v, dv := peels[c].order[cur[c]], peels[c].popDeg[cur[c]]
+		cur[c]++
 		removeOrder = append(removeOrder, v)
 		// Removing v: v's degree leaves W once, and every remaining neighbor
 		// loses w(u,v) from its degree — so W(S) drops by 2·dv in total.
 		totalDeg -= 2 * dv
-		g.VisitNeighbors(v, func(u int, w float64) {
-			if h.Contains(u) {
-				h.Add(u, -w)
-			}
-		})
+		if cur[c] >= len(peels[c].order) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
 		size--
 	}
 	// The best prefix keeps the vertices *not yet removed* when |S| == bestSize,

@@ -1,0 +1,78 @@
+// Package par provides the bounded worker-pool primitive behind the
+// parallel solver engine.
+//
+// Every parallel round in this repository follows the same discipline, and
+// this package is where it is enforced:
+//
+//   - tasks are indexed 0..n−1 and write only into their own slot of a
+//     results slice, so the join is the only synchronization point;
+//   - the worker count bounds goroutines, never the task count — excess
+//     tasks are claimed from a shared atomic counter;
+//   - a degree of 1 runs the tasks inline on the calling goroutine, with no
+//     goroutines, channels or atomics at all, so the sequential path stays
+//     exactly the sequential code;
+//   - determinism comes from the tasks, not the schedule: a task's output
+//     must depend only on its index, and any cross-task reduction happens
+//     after the join, in index order. Under that contract results are
+//     bitwise identical at every degree.
+//
+// Cancellation is cooperative and per-task: callers that poll a
+// runstate.State must hand each task its own fork (a State is
+// single-goroutine); Run itself never inspects contexts.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested parallelism degree: values below 1 mean
+// sequential (degree 1), and the degree is capped at GOMAXPROCS — beyond
+// that extra goroutines only add scheduling overhead without changing
+// results (determinism is degree-independent by construction).
+func Workers(p int) int {
+	if p < 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); p > max {
+		return max
+	}
+	return p
+}
+
+// Run executes task(0..n−1) on at most workers goroutines and returns after
+// all tasks finished. workers ≤ 1 (or n ≤ 1) runs every task inline on the
+// calling goroutine, in index order. With more workers, tasks are claimed
+// from an atomic counter, so the schedule is nondeterministic — tasks must
+// write only to per-index state (see the package comment).
+func Run(workers, n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

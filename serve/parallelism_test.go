@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParallelismClampAndEcho covers the per-request parallelism contract:
+// the effective degree is the request's value clamped to the server cap
+// (never rejected for being too large), 0/absent falls back to the server
+// default, and the response always echoes the degree actually used so a
+// client can detect the clamp.
+func TestParallelismClampAndEcho(t *testing.T) {
+	s := New(Config{Parallelism: 2, MaxParallelism: 3})
+	defer s.Close()
+	upload(t, s)
+
+	cases := []struct {
+		name      string
+		requested int
+		want      int
+	}{
+		{"absent_uses_server_default", 0, 2},
+		{"explicit_within_cap", 1, 1},
+		{"at_cap", 3, 3},
+		{"above_cap_clamped", 64, 3},
+	}
+	var baseline DCSResponse
+	for i, tc := range cases {
+		req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Parallelism: tc.requested}
+		var resp DCSResponse
+		if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.name, code)
+		}
+		if resp.Parallelism != tc.want {
+			t.Fatalf("%s: echoed parallelism %d, want %d", tc.name, resp.Parallelism, tc.want)
+		}
+		// Every degree must solve to the same answer (Fig. 1 DCS = {0, 2, 3}).
+		if len(resp.Results) != 1 {
+			t.Fatalf("%s: %d results, want 1", tc.name, len(resp.Results))
+		}
+		if i == 0 {
+			baseline = resp
+		} else if len(resp.Results[0].S) != len(baseline.Results[0].S) ||
+			resp.Results[0].Density != baseline.Results[0].Density {
+			t.Fatalf("%s: result diverged across degrees: %+v vs %+v",
+				tc.name, resp.Results[0], baseline.Results[0])
+		}
+	}
+}
+
+// TestParallelismNegativeRejected: negative degrees are a client error, not
+// something to clamp silently.
+func TestParallelismNegativeRejected(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	upload(t, s)
+
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Parallelism: -1}
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: status %d, want 400", code)
+	}
+}
+
+// TestParallelismDefaultsFloorAtOne: a zero-value Config (Parallelism 0)
+// still echoes a real degree — the floor is 1, never 0.
+func TestParallelismDefaultsFloorAtOne(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	upload(t, s)
+
+	var resp DCSResponse
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new"}
+	if code := doJSON(t, s, http.MethodPost, "/v1/dcs", req, &resp); code != http.StatusOK {
+		t.Fatalf("solve: status %d", code)
+	}
+	if resp.Parallelism < 1 {
+		t.Fatalf("echoed parallelism %d, want >= 1", resp.Parallelism)
+	}
+}
+
+// TestParallelismJobsPath: the async job API runs through the same solve()
+// and must clamp and echo identically in the stored result.
+func TestParallelismJobsPath(t *testing.T) {
+	s := New(Config{MaxParallelism: 2})
+	defer s.Close()
+	upload(t, s)
+
+	var info JobInfo
+	req := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Parallelism: 16}
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", req, &info); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := pollJob(t, s, info.ID, "done", 10*time.Second)
+	if done.Result == nil {
+		t.Fatalf("done job missing result: %+v", done)
+	}
+	if done.Result.Parallelism != 2 {
+		t.Fatalf("job result parallelism %d, want clamped 2", done.Result.Parallelism)
+	}
+
+	// Negative degree is rejected at submit time, before a job is created.
+	bad := DCSRequest{Measure: "avgdeg", G1: "old", G2: "new", Parallelism: -3}
+	if code := doJob(t, s, http.MethodPost, "/v1/jobs", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism job: status %d, want 400", code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,10 +23,15 @@ type Config struct {
 	// requests queue until a slot frees (or their context is cancelled).
 	// Default 4.
 	PoolSize int
-	// Parallelism is forwarded to dcs.Options.Parallelism: worker goroutines
-	// per affinity job. 0 means sequential; results are deterministic either
-	// way.
+	// Parallelism is the default worker-goroutine degree per solve, used when
+	// a request does not ask for one. 0 means sequential; results are
+	// identical either way.
 	Parallelism int
+	// MaxParallelism caps the per-request "parallelism" field (and the
+	// default above): a request asking for more is clamped to this value and
+	// the response echoes the degree actually used. 0 means GOMAXPROCS;
+	// negative means 1 (parallel solves disabled).
+	MaxParallelism int
 	// QueueTimeout bounds how long a request may wait for a pool slot before
 	// being rejected with 503. Default 30s.
 	QueueTimeout time.Duration
@@ -77,6 +83,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.PoolSize == 0 {
 		c.PoolSize = 4
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxParallelism < 1 {
+		c.MaxParallelism = 1
 	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = 30 * time.Second
@@ -170,7 +182,7 @@ func Open(cfg Config, dataDir string) (*Server, error) {
 		return nil, err
 	}
 	p.recoverSnapshots(s.store)
-	for _, w := range p.recoverWatches(*s.options()) {
+	for _, w := range p.recoverWatches(*s.defaultOptions()) {
 		s.watches.restore(w)
 	}
 	// Hooks attach only after recovery: restoring must not rewrite what it
@@ -245,8 +257,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) options() *dcs.Options {
-	return &dcs.Options{Parallelism: s.cfg.Parallelism}
+// effectiveParallelism resolves a request's worker degree: 0 (absent) means
+// the server default, and the result is clamped to [1, Config.MaxParallelism]
+// — a request beyond the cap is served at the cap, with the response echoing
+// the degree actually used rather than silently reporting zero.
+func (s *Server) effectiveParallelism(requested int) int {
+	p := requested
+	if p == 0 {
+		p = s.cfg.Parallelism
+	}
+	if p > s.cfg.MaxParallelism {
+		p = s.cfg.MaxParallelism
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func (s *Server) options(parallelism int) *dcs.Options {
+	return &dcs.Options{Parallelism: parallelism}
+}
+
+// defaultOptions are the solver options for paths without a per-request
+// degree (watch evaluation, /v1/topics): the server default, clamped.
+func (s *Server) defaultOptions() *dcs.Options {
+	return s.options(s.effectiveParallelism(0))
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -484,6 +520,9 @@ func validateDCSRequest(req *DCSRequest) error {
 	if a := req.Alpha; a != nil && (*a < 0 || math.IsNaN(*a) || math.IsInf(*a, 0)) {
 		return badRequest("alpha must be a non-negative finite number")
 	}
+	if req.Parallelism < 0 {
+		return badRequest("parallelism must be non-negative (0 means the server default)")
+	}
 	return nil
 }
 
@@ -507,13 +546,18 @@ func (s *Server) solve(ctx context.Context, req *DCSRequest, g1, g2 *dcs.Graph, 
 	if k == 0 {
 		k = 1
 	}
+	// Clamp-and-echo: the effective degree is reported even for measures the
+	// engine runs sequentially (totalweight — EgoScan's seed dedup is
+	// order-dependent), so a client always learns what its request resolved
+	// to.
+	par := s.effectiveParallelism(req.Parallelism)
 	started := time.Now()
-	resp := &DCSResponse{Measure: req.Measure, G1: r1, G2: r2, Alpha: alpha}
+	resp := &DCSResponse{Measure: req.Measure, G1: r1, G2: r2, Alpha: alpha, Parallelism: par}
 
 	switch req.Measure {
 	case "ratio":
 		resp.Alpha = 0 // output field Alpha is input-only here; Ratio carries the answer
-		res := dcs.FindMaxRatioContrastCtx(ctx, g1, g2)
+		res := dcs.FindMaxRatioContrastParCtx(ctx, g1, g2, par)
 		resp.Interrupted = res.Interrupted
 		rj := &RatioJSON{S: res.S, Density1: res.Density1, Density2: res.Density2}
 		if math.IsInf(res.Alpha, 1) {
@@ -524,7 +568,7 @@ func (s *Server) solve(ctx context.Context, req *DCSRequest, g1, g2 *dcs.Graph, 
 		resp.Ratio = rj
 	case "avgdeg":
 		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
-		results, interrupted := dcs.TopKAverageDegreeDCSOnCtx(ctx, gd, k)
+		results, interrupted := dcs.TopKAverageDegreeDCSOnParCtx(ctx, gd, k, par)
 		resp.Interrupted = interrupted
 		for _, res := range results {
 			if err := dcs.ValidateAverageDegreeResult(gd, res); err != nil {
@@ -543,14 +587,14 @@ func (s *Server) solve(ctx context.Context, req *DCSRequest, g1, g2 *dcs.Graph, 
 	case "affinity":
 		gd := s.differenceGraph(g1, g2, r1, r2, alpha)
 		if k == 1 {
-			res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, s.options())
+			res := dcs.FindGraphAffinityDCSOnCtx(ctx, gd, s.options(par))
 			resp.Interrupted = res.Interrupted
 			if err := dcs.ValidateGraphAffinityResult(gd, res); err != nil {
 				return nil, fmt.Errorf("result failed validation: %s", err)
 			}
 			resp.Results = append(resp.Results, gaSubgraph(gd, res.S, res.Affinity, weightsOf(res.X, res.S)))
 		} else {
-			cliques, interrupted := dcs.TopKGraphAffinityDCSOnCtx(ctx, gd, k, s.options())
+			cliques, interrupted := dcs.TopKGraphAffinityDCSOnCtx(ctx, gd, k, s.options(par))
 			resp.Interrupted = interrupted
 			for _, c := range cliques {
 				resp.Results = append(resp.Results, gaSubgraph(gd, c.S, c.Affinity, weightsOf(c.X, c.S)))
@@ -662,7 +706,7 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		gd = s.differenceGraph(g1, g2, r1, r2, 1)
 	}
-	cliques, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, s.options())
+	cliques, interrupted := dcs.TopContrastCliquesOnCtx(ctx, gd, s.defaultOptions())
 	resp := TopicsResponse{G1: r1, G2: r2, Direction: direction, Interrupted: interrupted}
 	for i, c := range cliques {
 		if i >= k {

@@ -135,6 +135,12 @@ type DCSRequest struct {
 	// honored and mines the pure G2 difference graph (GD = G2). Ignored by
 	// measure "ratio", which searches for the best α itself.
 	Alpha *float64 `json:"alpha,omitempty"`
+	// Parallelism asks for this many worker goroutines inside the solve.
+	// Absent or 0 means the server default (Config.Parallelism); requests
+	// beyond the server cap (Config.MaxParallelism) are clamped, never
+	// rejected — the response echoes the degree actually used. Results are
+	// identical at every degree; negative values are a 400.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SubgraphJSON is one mined contrast subgraph.
@@ -188,7 +194,12 @@ type DCSResponse struct {
 	Interrupted bool           `json:"interrupted,omitempty"`
 	Results     []SubgraphJSON `json:"results,omitempty"`
 	Ratio       *RatioJSON     `json:"ratio,omitempty"`
-	ElapsedMS   float64        `json:"elapsed_ms"`
+	// Parallelism is the worker-goroutine degree the solve actually used:
+	// the requested (or server-default) degree clamped to the server cap,
+	// never below 1. A request above the cap is thus answered, not errored —
+	// this field is how the client learns it was clamped.
+	Parallelism int     `json:"parallelism"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
 // TopicsResponse is the body returned by GET /v1/topics.

@@ -324,7 +324,7 @@ func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
 		Lambda:     req.Lambda,
 		MinDensity: req.MinDensity,
 		GA:         measure == "affinity",
-		Opt:        *s.options(),
+		Opt:        *s.defaultOptions(),
 	})
 	if err != nil {
 		return nil, badRequest("%s", err)
