@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-maxpar 0] [-cache 64]
-//	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64]
+//	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64] [-resync 0]
 //	     [-data DIR] [-checkpoint 30s] [-load name=graph.tsv ...]
 //
 // -parallelism sets the default worker-goroutine degree inside each solve
@@ -35,8 +35,10 @@
 //
 // -watches bounds the streaming anomaly watches (POST /v1/watches, the
 // EWMA-expectation trackers of package evolve served over HTTP); 0 disables
-// registration. See cmd/dcswatch for a client that drives a synthetic stream
-// end-to-end.
+// registration. Watches fed edge deltas mine incrementally, re-solving the
+// full difference graph from scratch every -resync ticks (0 = the evolve
+// default of 32; each watch may override at registration). See cmd/dcswatch
+// for a client that drives a synthetic stream end-to-end.
 package main
 
 import (
@@ -74,6 +76,8 @@ func main() {
 	jobs := flag.Int("jobs", 256, "finished async jobs retained for polling")
 	watches := flag.Int("watches", 64,
 		"max registered streaming watches (0 disables registration)")
+	resync := flag.Int("resync", 0,
+		"default scratch re-solve interval for delta-fed watches (0 = evolve default, 1 = always scratch)")
 	dataDir := flag.String("data", "",
 		"data directory for durable snapshots and watches (empty = in-memory only)")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second,
@@ -130,6 +134,7 @@ func main() {
 		MaxQueue:           *maxQueue,
 		JobRetention:       *jobs,
 		MaxWatches:         maxWatches,
+		WatchResync:        *resync,
 		CheckpointInterval: cpInterval,
 	}
 	var srv *serve.Server

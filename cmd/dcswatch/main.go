@@ -11,14 +11,17 @@
 //	dcsd -addr :8080 &
 //	dcswatch [-url http://localhost:8080] [-name flashmob] [-n 200]
 //	         [-steps 12] [-inject 7] [-lambda 0.4] [-mindensity 4]
-//	         [-measure avgdeg] [-seed 99] [-delta] [-keep]
+//	         [-measure avgdeg] [-seed 99] [-delta] [-resync 0] [-keep]
 //
 // The planted clique must alarm at step -inject and be absorbed into the
 // drifting expectation within a few further steps — persistent structure is
 // not an anomaly. With -delta the client sends only the edges that changed
-// since the previous tick (serve.DeltaBetween on the client side, merged by
-// the server via ApplyDelta), which is the intended wire format for
-// high-frequency streams.
+// since the previous tick (serve.DeltaBetween on the client side), which is
+// the intended wire format for high-frequency streams: the server then mines
+// incrementally off its delta-maintained difference graph, re-solving from
+// scratch every -resync ticks. After the stream, a summary reports per-tick
+// latency percentiles (p50/p95/p99), throughput in ticks/sec, and how the
+// ticks split between incremental and scratch solves.
 package main
 
 import (
@@ -28,9 +31,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
+	"time"
 
 	"github.com/dcslib/dcs/serve"
 )
@@ -48,6 +53,8 @@ func main() {
 	measure := flag.String("measure", "avgdeg", "watch measure: avgdeg | affinity")
 	seed := flag.Int64("seed", 99, "stream generator seed")
 	delta := flag.Bool("delta", false, "send per-tick edge deltas instead of full snapshots")
+	resync := flag.Int("resync", 0,
+		"scratch re-solve interval for delta ticks (0 = server default, 1 = always scratch)")
 	keep := flag.Bool("keep", false, "leave the watch registered after the stream ends")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -59,6 +66,7 @@ func main() {
 	post(*url+"/v1/watches", serve.WatchRequest{
 		Name: *name, N: *n, Lambda: *lambda,
 		MinDensity: *minDensity, Measure: *measure,
+		ResyncEvery: *resync,
 	}, nil)
 	fmt.Printf("registered watch %q (n=%d lambda=%v measure=%s)\n", *name, *n, *lambda, *measure)
 	if !*keep {
@@ -89,10 +97,19 @@ func main() {
 	}
 	sort.Ints(mob)
 
+	// Weights persist across ticks and only a handful of backbone edges
+	// churn per step: interaction intensities drift while the topology
+	// stays put. That keeps each tick's delta local, which is what lets
+	// the server's incremental engine engage in -delta mode — rerolling
+	// the whole backbone every tick would make every delta global and
+	// force a scratch re-solve on every step.
+	w := map[pair]float64{}
+	for _, p := range backbone {
+		w[p] = 0.5 + rng.Float64()
+	}
 	snapshot := func(step int) serve.GraphJSON {
-		w := map[pair]float64{}
-		for _, p := range backbone {
-			w[p] = 0.5 + rng.Float64()
+		for i := 0; i < 4; i++ {
+			w[backbone[rng.Intn(len(backbone))]] = 0.5 + rng.Float64()
 		}
 		if step >= *inject {
 			for i := 0; i < len(mob); i++ {
@@ -111,6 +128,9 @@ func main() {
 	fmt.Printf("streaming %d steps, clique %v planted at step %d, feeding %s\n",
 		*steps, mob, *inject, map[bool]string{false: "full snapshots", true: "edge deltas"}[*delta])
 	prev := serve.GraphJSON{N: *n}
+	latencies := make([]float64, 0, *steps) // per-tick wall time, ms
+	var incremental, warmHits int
+	streamStart := time.Now()
 	for step := 1; step <= *steps; step++ {
 		cur := snapshot(step)
 		var body serve.WatchObserveRequest
@@ -122,7 +142,9 @@ func main() {
 		prev = cur
 
 		var rep serve.WatchReport
+		tickStart := time.Now()
 		post(*url+"/v1/watches/"+*name+"/observe", body, &rep)
+		latencies = append(latencies, float64(time.Since(tickStart))/float64(time.Millisecond))
 		status := "steady"
 		if rep.Anomalous {
 			status = fmt.Sprintf("ANOMALY |S|=%d contrast=%.1f members=%v", len(rep.S), rep.Contrast, rep.S)
@@ -130,10 +152,40 @@ func main() {
 		if rep.Interrupted {
 			status += " (interrupted)"
 		}
-		fmt.Printf("step %2d: %s  [%.1fms]\n", rep.Step, status, rep.ElapsedMS)
+		mode := rep.Mode
+		if rep.WarmHit {
+			mode += "+warm"
+			warmHits++
+		}
+		if rep.Mode == "incremental" {
+			incremental++
+		}
+		fmt.Printf("step %2d: %-10s %s  [%.1fms]\n", rep.Step, mode, status, rep.ElapsedMS)
 	}
+	elapsed := time.Since(streamStart).Seconds()
+
+	sort.Float64s(latencies)
+	fmt.Printf("\nsummary: %d ticks in %.2fs = %.1f ticks/sec\n",
+		len(latencies), elapsed, float64(len(latencies))/elapsed)
+	fmt.Printf("per-tick latency: p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		percentile(latencies, 50), percentile(latencies, 95), percentile(latencies, 99))
+	fmt.Printf("solve paths: %d incremental (%d warm hits) / %d scratch\n",
+		incremental, warmHits, len(latencies)-incremental)
 	fmt.Println("\nnote: the community alarms when it appears, then is absorbed")
 	fmt.Println("into the expectation — persistent structure is not an anomaly.")
+}
+
+// percentile reads the p-th percentile off sorted latencies with the
+// nearest-rank rule.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // post sends one JSON request and decodes the response into out (when

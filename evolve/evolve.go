@@ -19,11 +19,18 @@
 // and stops being reported; genuinely new dense structure surfaces the moment
 // it appears.
 //
-// A Tracker is safe for concurrent use (observations serialize internally),
-// and ObserveCtx supports cooperative cancellation: an expired context stops
+// A Tracker is safe for concurrent use (observations serialize internally,
+// while reads and checkpoints never wait for an in-flight solve), and
+// ObserveCtx supports cooperative cancellation: an expired context stops
 // the mining at its next checkpoint and the report carries the best-so-far
-// partial subgraph with Interrupted set. The dcsd service exposes trackers
-// over HTTP as watches (POST /v1/watches); see package serve.
+// partial subgraph with Interrupted set.
+//
+// Streams that arrive as edge deltas should use ObserveDelta instead of
+// rebuilding snapshots: the tracker then maintains the difference graph
+// incrementally (O(k) per k-edge delta) and warm-starts each tick's mining
+// from the previous subgraph, re-solving from scratch every
+// Config.ResyncEvery ticks for eventual exactness. The dcsd service exposes
+// trackers over HTTP as watches (POST /v1/watches); see package serve.
 package evolve
 
 import (
@@ -39,8 +46,23 @@ type Config = ievolve.Config
 // Report is one observation step's finding.
 type Report = ievolve.Report
 
+// TickStats counts how a tracker's observation ticks were served:
+// from-scratch solves versus incremental warm-started region solves, and how
+// often the warm start won outright.
+type TickStats = ievolve.TickStats
+
 // Tracker is the streaming state; safe for concurrent use.
 type Tracker = ievolve.Tracker
+
+// DefaultResyncEvery is the scratch re-solve interval used when
+// Config.ResyncEvery is 0.
+const DefaultResyncEvery = ievolve.DefaultResyncEvery
+
+// Tick modes reported in Report.Mode.
+const (
+	ModeScratch     = ievolve.ModeScratch
+	ModeIncremental = ievolve.ModeIncremental
+)
 
 // New returns a Tracker over n vertices with an empty expectation, or an
 // error describing an invalid vertex count or config.
@@ -49,9 +71,10 @@ func New(n int, cfg Config) (*Tracker, error) {
 }
 
 // Restore reconstructs a Tracker from previously checkpointed state — the
-// expectation graph and step count of an earlier tracker (Expectation and
-// Step) — so a persisted stream resumes where it left off instead of
-// cold-starting. The config is validated as in New.
-func Restore(n int, cfg Config, expect *dcs.Graph, step int) (*Tracker, error) {
-	return ievolve.Restore(n, cfg, expect, step)
+// expectation graph, last observation and step count of an earlier tracker
+// (CheckpointState) — so a persisted stream resumes where it left off instead
+// of cold-starting. A nil last observation is accepted as empty, for
+// checkpoints predating the delta base. The config is validated as in New.
+func Restore(n int, cfg Config, expect, last *dcs.Graph, step int) (*Tracker, error) {
+	return ievolve.Restore(n, cfg, expect, last, step)
 }

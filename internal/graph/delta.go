@@ -28,7 +28,46 @@ func ApplyDelta(base *Graph, delta []Edge) *Graph {
 		return base
 	}
 	n := base.n
-	// Canonicalize (U < V) and validate.
+	ded := canonDelta(n, delta)
+	// Scatter the canonical delta into sorted directed CSR rows (the Builder
+	// fill pattern), keeping zero weights: in a delta row, W = 0 is the
+	// removal marker, not an absent edge.
+	deg := make([]int, n)
+	for _, e := range ded {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	doff := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		doff[u+1] = doff[u] + deg[u]
+	}
+	dnbr := make([]Neighbor, doff[n])
+	cur := make([]int, n)
+	copy(cur, doff[:n])
+	for _, e := range ded {
+		dnbr[cur[e.U]] = Neighbor{To: e.V, W: e.W}
+		cur[e.U]++
+		dnbr[cur[e.V]] = Neighbor{To: e.U, W: e.W}
+		cur[e.V]++
+	}
+	// Tandem merge: a delta entry overrides the base weight outright (its
+	// zero-result drop is exactly the removal), absent entries keep base's.
+	return mergeRows(n, len(base.nbr)+len(dnbr), base.row,
+		func(u int) []Neighbor { return dnbr[doff[u]:doff[u+1]] },
+		func(w1, w2 float64, _, in2 bool) float64 {
+			if in2 {
+				return w2
+			}
+			return w1
+		})
+}
+
+// canonDelta validates an edge-delta list and returns it canonicalized:
+// endpoints ordered U < V, entries sorted by pair, duplicates collapsed with
+// the last entry winning. Shared by ApplyDelta and the streaming Maintainer so
+// both interpret a delta identically. Invalid entries (self-loops, endpoints
+// outside [0, n), non-finite weights) panic, matching Builder.AddEdge.
+func canonDelta(n int, delta []Edge) []Edge {
 	es := make([]Edge, 0, len(delta))
 	for _, e := range delta {
 		if e.U == e.V {
@@ -61,35 +100,5 @@ func ApplyDelta(base *Graph, delta []Edge) *Graph {
 		}
 		ded = append(ded, e)
 	}
-	// Scatter the canonical delta into sorted directed CSR rows (the Builder
-	// fill pattern), keeping zero weights: in a delta row, W = 0 is the
-	// removal marker, not an absent edge.
-	deg := make([]int, n)
-	for _, e := range ded {
-		deg[e.U]++
-		deg[e.V]++
-	}
-	doff := make([]int, n+1)
-	for u := 0; u < n; u++ {
-		doff[u+1] = doff[u] + deg[u]
-	}
-	dnbr := make([]Neighbor, doff[n])
-	cur := make([]int, n)
-	copy(cur, doff[:n])
-	for _, e := range ded {
-		dnbr[cur[e.U]] = Neighbor{To: e.V, W: e.W}
-		cur[e.U]++
-		dnbr[cur[e.V]] = Neighbor{To: e.U, W: e.W}
-		cur[e.V]++
-	}
-	// Tandem merge: a delta entry overrides the base weight outright (its
-	// zero-result drop is exactly the removal), absent entries keep base's.
-	return mergeRows(n, len(base.nbr)+len(dnbr), base.row,
-		func(u int) []Neighbor { return dnbr[doff[u]:doff[u+1]] },
-		func(w1, w2 float64, _, in2 bool) float64 {
-			if in2 {
-				return w2
-			}
-			return w1
-		})
+	return ded
 }

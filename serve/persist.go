@@ -69,6 +69,7 @@ type watchManifest struct {
 	MinDensity     float64       `json:"min_density"`
 	SolveTimeoutMS float64       `json:"solve_timeout_ms,omitempty"`
 	ReportCap      int           `json:"report_cap"`
+	ResyncEvery    int           `json:"resync_every,omitempty"`
 	CreatedAt      time.Time     `json:"created_at"`
 	Step           int           `json:"step"`
 	Anomalies      int           `json:"anomalies"`
@@ -552,17 +553,19 @@ func (p *persister) restoreWatch(m *watchManifest, opt dcs.Options) (*watch, err
 	if err != nil {
 		return nil, err
 	}
+	resync := m.ResyncEvery
+	if resync < 0 {
+		resync = 0 // tolerate a hand-edited manifest; fall back to default
+	}
 	tracker, err := evolve.Restore(m.N, evolve.Config{
-		Lambda:     m.Lambda,
-		MinDensity: m.MinDensity,
-		GA:         m.Measure == "affinity",
-		Opt:        opt,
-	}, expect, m.Step)
+		Lambda:      m.Lambda,
+		MinDensity:  m.MinDensity,
+		GA:          m.Measure == "affinity",
+		Opt:         opt,
+		ResyncEvery: resync,
+	}, expect, last, m.Step)
 	if err != nil {
 		return nil, err
-	}
-	if last.N() != m.N {
-		return nil, fmt.Errorf("serve: watch %q: delta base has %d vertices, want %d", m.Name, last.N(), m.N)
 	}
 	ringCap := m.ReportCap
 	if ringCap < 1 {
@@ -572,6 +575,9 @@ func (p *persister) restoreWatch(m *watchManifest, opt dcs.Options) (*watch, err
 	if len(reports) > ringCap {
 		reports = reports[len(reports)-ringCap:]
 	}
+	if resync == 0 {
+		resync = evolve.DefaultResyncEvery // echo the applied default in infos
+	}
 	w := &watch{
 		name:         m.Name,
 		n:            m.N,
@@ -580,14 +586,12 @@ func (p *persister) restoreWatch(m *watchManifest, opt dcs.Options) (*watch, err
 		minDensity:   m.MinDensity,
 		solveTimeout: time.Duration(m.SolveTimeoutMS * float64(time.Millisecond)),
 		ringCap:      ringCap,
+		resync:       resync,
 		created:      m.CreatedAt,
 		tracker:      tracker,
-		last:         last,
 		step:         m.Step,
 		reports:      append([]WatchReport(nil), reports...),
 		anomalies:    m.Anomalies,
-		expectSnap:   expect,
-		lastSnap:     last,
 	}
 	if m.LastSeen != nil {
 		w.lastSeen = *m.LastSeen

@@ -319,6 +319,8 @@ func TestWatchCheckpointResume(t *testing.T) {
 
 // TestWatchDeltaResume feeds post-restart observations as edge deltas: the
 // checkpointed delta base (last observation) must be what they apply to.
+// The twin feeds full snapshots, so agreement is up to the incremental
+// engine's floating-point tolerance, not bitwise.
 func TestWatchDeltaResume(t *testing.T) {
 	dir := t.TempDir()
 	snaps := watchStream(7, 16, 5, 3, []int{1, 3, 8})
@@ -343,8 +345,20 @@ func TestWatchDeltaResume(t *testing.T) {
 		got := observeWatch(t, s2, "d", WatchObserveRequest{Delta: delta})
 		g := snaps[i]
 		want := observeWatch(t, twin, "d", WatchObserveRequest{Graph: &g})
-		if got.Step != want.Step || math.Float64bits(got.Contrast) != math.Float64bits(want.Contrast) {
+		if got.Step != want.Step || got.Anomalous != want.Anomalous ||
+			!approxEq(got.Contrast, want.Contrast) {
 			t.Fatalf("delta tick %d diverged after restart: got %+v, want %+v", i, got, want)
+		}
+	}
+	// The first post-restart delta tick has no warm-start prior and must
+	// have re-solved from scratch.
+	var ring WatchReportsResponse
+	if code := doJSON(t, s2, http.MethodGet, "/v1/watches/d/reports", nil, &ring); code != http.StatusOK {
+		t.Fatalf("reports: %d", code)
+	}
+	for _, r := range ring.Reports {
+		if r.Step == 4 && r.Mode != "scratch" {
+			t.Fatalf("first post-restart delta tick mode %q, want scratch", r.Mode)
 		}
 	}
 }

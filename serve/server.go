@@ -72,6 +72,12 @@ type Config struct {
 	// WatchReports is the default per-watch report-ring capacity; each
 	// watch may override it at registration (capped at 4096). Default 32.
 	WatchReports int
+	// WatchResync is the default scratch re-solve interval for delta-fed
+	// watches: every K-th delta tick mines the full difference graph from
+	// scratch instead of incrementally. Each watch may override it at
+	// registration. 0 means the evolve package default (32); 1 disables
+	// incremental mining outright.
+	WatchResync int
 	// CheckpointInterval is how often a persistent server (see Open) writes
 	// watch-state checkpoints for watches observed since their last one.
 	// Snapshots are mirrored write-through and do not wait for it. Default
@@ -113,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchReports > maxWatchReports {
 		c.WatchReports = maxWatchReports
+	}
+	if c.WatchResync < 0 {
+		c.WatchResync = 0 // fall back to the evolve default
 	}
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 30 * time.Second

@@ -30,7 +30,11 @@
 //	                     or an edge-delta list against the previous
 //	                     observation — mine the DCS of the observation vs
 //	                     the maintained expectation, fold it in, and return
-//	                     (plus retain) the anomaly report
+//	                     (plus retain) the anomaly report; delta ticks run
+//	                     the incremental engine (the difference graph is
+//	                     maintained in O(k) per k-edge delta and mining
+//	                     warm-starts from the previous subgraph, re-solving
+//	                     from scratch every resync_every ticks)
 //	GET  /v1/watches/{name}/reports  the watch's bounded ring of recent
 //	                     reports, oldest first
 //	GET  /healthz        liveness, snapshot count, in-flight and queued
@@ -265,20 +269,29 @@ type WatchRequest struct {
 	// Reports overrides the per-watch report-ring capacity
 	// (Config.WatchReports); 0 means the server default.
 	Reports int `json:"reports,omitempty"`
+	// ResyncEvery overrides the scratch re-solve interval for delta
+	// observations: every K-th delta tick mines the full difference graph
+	// from scratch instead of running the incremental warm-started solve.
+	// 0 means the server default (Config.WatchResync, else the evolve
+	// package default of 32); 1 disables incremental mining outright.
+	ResyncEvery int `json:"resync_every,omitempty"`
 }
 
 // WatchInfo describes one registered watch.
 type WatchInfo struct {
-	Name           string    `json:"name"`
-	N              int       `json:"n"`
-	Lambda         float64   `json:"lambda"`
-	Measure        string    `json:"measure"`
-	MinDensity     float64   `json:"min_density"`
-	SolveTimeoutMS float64   `json:"solve_timeout_ms,omitempty"`
-	ReportCap      int       `json:"report_cap"`
-	Step           int       `json:"step"`
-	Anomalies      int       `json:"anomalies"`
-	CreatedAt      time.Time `json:"created_at"`
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	Lambda         float64 `json:"lambda"`
+	Measure        string  `json:"measure"`
+	MinDensity     float64 `json:"min_density"`
+	SolveTimeoutMS float64 `json:"solve_timeout_ms,omitempty"`
+	ReportCap      int     `json:"report_cap"`
+	// ResyncEvery is the watch's effective scratch re-solve interval for
+	// delta observations (defaults applied).
+	ResyncEvery int       `json:"resync_every"`
+	Step        int       `json:"step"`
+	Anomalies   int       `json:"anomalies"`
+	CreatedAt   time.Time `json:"created_at"`
 	// LastObserved is the wall time of the newest observation, if any.
 	LastObserved *time.Time `json:"last_observed,omitempty"`
 }
@@ -307,9 +320,16 @@ type WatchReport struct {
 	// Interrupted reports that the mining was cut short (solve timeout or
 	// client disconnect) and S is the best-so-far partial answer; the
 	// observation was still folded into the expectation.
-	Interrupted bool      `json:"interrupted,omitempty"`
-	ObservedAt  time.Time `json:"observed_at"`
-	ElapsedMS   float64   `json:"elapsed_ms"`
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Mode is "scratch" (full-graph solve) or "incremental" (delta tick
+	// mined on the delta's neighborhood, warm-started from the previous
+	// subgraph). Full-snapshot observations are always scratch.
+	Mode string `json:"mode,omitempty"`
+	// WarmHit marks an incremental tick on which the locally-improved
+	// previous subgraph beat every fresh solver candidate.
+	WarmHit    bool      `json:"warm_hit,omitempty"`
+	ObservedAt time.Time `json:"observed_at"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
 }
 
 // WatchReportsResponse is the body of GET /v1/watches/{name}/reports.
@@ -320,12 +340,22 @@ type WatchReportsResponse struct {
 	Reports []WatchReport `json:"reports"`
 }
 
-// WatchStats summarizes the watch registry for /healthz. Observations and
-// Anomalies are cumulative and keep counting deleted watches.
+// WatchStats summarizes the watch registry for /healthz. All counters are
+// cumulative and keep counting deleted watches.
 type WatchStats struct {
 	Count        int `json:"count"`
 	Observations int `json:"observations"`
 	Anomalies    int `json:"anomalies"`
+	// ScratchTicks and IncrementalTicks split Observations by solve path:
+	// full-graph solves (snapshots, resyncs, drift re-checks, locality
+	// fallbacks) versus delta ticks served by the warm-started region solve.
+	ScratchTicks     int `json:"scratch_ticks"`
+	IncrementalTicks int `json:"incremental_ticks"`
+	// WarmHits counts incremental ticks won by the improved previous
+	// subgraph; WarmHitRate is WarmHits/IncrementalTicks (0 when no
+	// incremental tick has run).
+	WarmHits    int     `json:"warm_hits"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
 }
 
 // PersistStats summarizes the persistence layer for /healthz. All counters

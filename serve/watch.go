@@ -22,13 +22,14 @@ const maxWatchReports = 4096
 // overflow int64 and silently disable the timeout.
 const maxSolveTimeoutMS = 1e12
 
-// watch is one registered streaming anomaly watch: an evolve.Tracker plus
-// the delta base (the previous observation) and a bounded ring of recent
-// reports. Two locks split hot from slow: obsMu serializes observations —
-// the tracker's EWMA fold and the delta base must advance in lockstep, so it
-// is held across the whole (possibly long) mining solve — while mu guards
+// watch is one registered streaming anomaly watch: an evolve.Tracker plus a
+// bounded ring of recent reports. Two locks split hot from slow: obsMu
+// serializes observations — ticks must enter the tracker in stream order, so
+// it is held across the whole (possibly long) mining solve — while mu guards
 // only the cheap read state (step, ring, counters), so GET /v1/watches and
-// GET .../reports answer instantly even while an observe is mining.
+// GET .../reports answer instantly even while an observe is mining. The
+// tracker itself is internally locked the same way: its read-side accessors
+// (Expectation, CheckpointState, Stats) never wait behind an in-flight solve.
 // Different watches observe concurrently, each on its own pool slot.
 type watch struct {
 	name         string
@@ -38,38 +39,36 @@ type watch struct {
 	minDensity   float64
 	solveTimeout time.Duration
 	ringCap      int
+	resync       int // effective scratch re-solve interval (defaults applied)
 	created      time.Time
 
-	// obsMu serializes observes; it alone guards tracker and last. Nothing
-	// that might hold it reaches for mu's state except through the
-	// short-held mu section at the end of an observe (obsMu → mu, never the
-	// reverse).
+	// obsMu serializes observes. Nothing that might hold it reaches for
+	// mu's state except through the short-held mu section at the end of an
+	// observe (obsMu → mu, never the reverse).
 	obsMu   sync.Mutex
 	tracker *evolve.Tracker
-	last    *dcs.Graph // previous observation, the ApplyDelta base
 
 	// mu guards the observation results; held only for O(ring) copies. The
-	// step count is mirrored here rather than read from the tracker, whose
-	// internal mutex is busy for the duration of a mining solve.
+	// step count is mirrored here so the ring and its step advance under
+	// one lock.
 	mu        sync.Mutex
 	step      int
 	reports   []WatchReport // circular once full; oldest at head
 	head      int           // index of the oldest report when the ring is full
 	anomalies int
 	lastSeen  time.Time
-	// expectSnap/lastSnap mirror the tracker's expectation and the delta
-	// base at the end of the newest observation, under mu instead of obsMu:
-	// the persistence checkpointer reads them without ever waiting behind a
-	// mining solve. The graphs are immutable, so sharing the pointers is
-	// safe.
-	expectSnap *dcs.Graph
-	lastSnap   *dcs.Graph
 }
 
-// checkpointState captures everything a checkpoint persists, under mu only
-// (never obsMu — a checkpoint must not block behind a long solve). The
-// returned manifest carries no file names; the persister fills those in.
+// checkpointState captures everything a checkpoint persists, without ever
+// taking obsMu — a checkpoint must not block behind a long solve. The
+// expectation, delta base and step come from the tracker's tick-atomic
+// CheckpointState (mid-solve it reports the last completed tick); the ring is
+// copied under mu. The two are read back to back, so a tick committing in
+// between can leave the ring one report behind the step — harmless, the next
+// checkpoint catches it up. The returned manifest carries no file names; the
+// persister fills those in.
 func (w *watch) checkpointState() (watchManifest, *dcs.Graph, *dcs.Graph) {
+	expect, last, step := w.tracker.CheckpointState()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	man := watchManifest{
@@ -80,19 +79,24 @@ func (w *watch) checkpointState() (watchManifest, *dcs.Graph, *dcs.Graph) {
 		MinDensity:     w.minDensity,
 		SolveTimeoutMS: float64(w.solveTimeout) / float64(time.Millisecond),
 		ReportCap:      w.ringCap,
+		ResyncEvery:    w.resync,
 		CreatedAt:      w.created,
-		Step:           w.step,
+		Step:           step,
 		Anomalies:      w.anomalies,
 	}
 	if !w.lastSeen.IsZero() {
 		t := w.lastSeen
 		man.LastSeen = &t
 	}
-	// Unroll the ring oldest-first, the same order GET .../reports serves.
+	// Unroll the ring oldest-first, the same order GET .../reports serves,
+	// dropping reports newer than the tracker step being persisted.
 	man.Reports = make([]WatchReport, 0, len(w.reports))
 	man.Reports = append(man.Reports, w.reports[w.head:]...)
 	man.Reports = append(man.Reports, w.reports[:w.head]...)
-	return man, w.expectSnap, w.lastSnap
+	for len(man.Reports) > 0 && man.Reports[len(man.Reports)-1].Step > step {
+		man.Reports = man.Reports[:len(man.Reports)-1]
+	}
+	return man, expect, last
 }
 
 func (w *watch) info() WatchInfo {
@@ -106,6 +110,7 @@ func (w *watch) info() WatchInfo {
 		MinDensity:     w.minDensity,
 		SolveTimeoutMS: float64(w.solveTimeout) / float64(time.Millisecond),
 		ReportCap:      w.ringCap,
+		ResyncEvery:    w.resync,
 		Step:           w.step,
 		Anomalies:      w.anomalies,
 		CreatedAt:      w.created,
@@ -117,13 +122,18 @@ func (w *watch) info() WatchInfo {
 	return info
 }
 
-// watchRegistry tracks the registered watches. The cumulative observation
-// and anomaly counters keep counting deleted watches, mirroring jobRegistry.
+// watchRegistry tracks the registered watches. The cumulative counters keep
+// counting deleted watches, mirroring jobRegistry.
 type watchRegistry struct {
 	mu           sync.Mutex
 	watches      map[string]*watch
 	observations int
 	anomalies    int
+	// scratch/incremental split observations by solve path; warmHits counts
+	// incremental ticks won by the improved previous subgraph.
+	scratch     int
+	incremental int
+	warmHits    int
 }
 
 func newWatchRegistry() *watchRegistry {
@@ -215,12 +225,20 @@ func (reg *watchRegistry) remove(name string) bool {
 }
 
 // recordObservation bumps the cumulative counters.
-func (reg *watchRegistry) recordObservation(anomalous bool) {
+func (reg *watchRegistry) recordObservation(rep *WatchReport) {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	reg.observations++
-	if anomalous {
+	if rep.Anomalous {
 		reg.anomalies++
+	}
+	if rep.Mode == evolve.ModeIncremental {
+		reg.incremental++
+		if rep.WarmHit {
+			reg.warmHits++
+		}
+	} else {
+		reg.scratch++
 	}
 }
 
@@ -242,20 +260,30 @@ func (reg *watchRegistry) list() []WatchInfo {
 func (reg *watchRegistry) stats() WatchStats {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	return WatchStats{
-		Count:        len(reg.watches),
-		Observations: reg.observations,
-		Anomalies:    reg.anomalies,
+	st := WatchStats{
+		Count:            len(reg.watches),
+		Observations:     reg.observations,
+		Anomalies:        reg.anomalies,
+		ScratchTicks:     reg.scratch,
+		IncrementalTicks: reg.incremental,
+		WarmHits:         reg.warmHits,
 	}
+	if st.IncrementalTicks > 0 {
+		st.WarmHitRate = float64(st.WarmHits) / float64(st.IncrementalTicks)
+	}
+	return st
 }
 
 // DeltaBetween expresses cur as a set-semantics edge delta against prev,
 // ready for POST /v1/watches/{name}/observe: changed or new edges carry
 // their new weight, vanished edges carry 0 (the removal marker). Duplicate
 // entries within either graph sum first (Builder semantics), so feeding the
-// returned delta is equivalent to feeding cur as a full snapshot. This is
-// the client-side encoder watch clients (cmd/dcswatch, the tests) share —
-// the server merges the delta with dcs.ApplyDelta.
+// returned delta is equivalent to feeding cur as a full snapshot — up to
+// floating-point tolerance: the server feeds deltas to the tracker's
+// incremental engine (evolve.Tracker.ObserveDelta), which maintains the
+// difference graph with a lazily-scaled accumulator instead of rebuilding it.
+// This is the client-side encoder watch clients (cmd/dcswatch, the tests)
+// share.
 func DeltaBetween(prev, cur GraphJSON) []EdgeJSON {
 	type pair struct{ u, v int }
 	index := func(g GraphJSON) map[pair]float64 {
@@ -315,21 +343,28 @@ func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
 	case ringCap < 0 || ringCap > maxWatchReports:
 		return nil, badRequest("reports must be in [1, %d]", maxWatchReports)
 	}
+	if req.ResyncEvery < 0 {
+		return nil, badRequest("resync_every must be ≥ 0 (0 for the default), got %d", req.ResyncEvery)
+	}
+	resync := req.ResyncEvery
+	if resync == 0 {
+		resync = s.cfg.WatchResync
+	}
 	// Cheap registry check before allocating the tracker's O(n) state; add
 	// below re-checks under the same lock against concurrent registrations.
 	if herr := s.watches.precheck(req.Name, s.cfg.MaxWatches); herr != nil {
 		return nil, herr
 	}
 	tracker, err := evolve.New(req.N, evolve.Config{
-		Lambda:     req.Lambda,
-		MinDensity: req.MinDensity,
-		GA:         measure == "affinity",
-		Opt:        *s.defaultOptions(),
+		Lambda:      req.Lambda,
+		MinDensity:  req.MinDensity,
+		GA:          measure == "affinity",
+		Opt:         *s.defaultOptions(),
+		ResyncEvery: resync,
 	})
 	if err != nil {
 		return nil, badRequest("%s", err)
 	}
-	empty := dcs.NewBuilder(req.N).Build()
 	w := &watch{
 		name:         req.Name,
 		n:            req.N,
@@ -338,14 +373,15 @@ func (s *Server) registerWatch(req *WatchRequest) (*watch, *httpError) {
 		minDensity:   req.MinDensity,
 		solveTimeout: time.Duration(req.SolveTimeoutMS * float64(time.Millisecond)),
 		ringCap:      ringCap,
+		resync:       resync,
 		created:      time.Now(),
 		tracker:      tracker,
-		last:         empty, // delta base before the first tick
-		expectSnap:   empty,
-		lastSnap:     empty,
 	}
 	if w.lambda == 0 {
-		w.lambda = 0.3 // echo the applied default in infos
+		w.lambda = 0.3 // echo the applied defaults in infos
+	}
+	if w.resync == 0 {
+		w.resync = evolve.DefaultResyncEvery
 	}
 	if herr := s.watches.add(w, s.cfg.MaxWatches); herr != nil {
 		return nil, herr
@@ -527,17 +563,21 @@ func (s *Server) handleWatchObserve(w http.ResponseWriter, r *http.Request, name
 	ctx, cancel := s.watchSolveCtx(r, wt)
 	defer cancel()
 	started := time.Now()
+	var rep evolve.Report
 	if observed == nil {
-		// The delta base is the previous observation, which only the
-		// observe-lock holder may read — and ApplyDelta never mutates it.
-		observed = dcs.ApplyDelta(wt.last, delta)
+		// Delta tick: the tracker applies it to its own observation base
+		// and runs the incremental engine (warm-started region solve, with
+		// scratch resyncs per the watch's resync_every).
+		rep, err = wt.tracker.ObserveDeltaCtx(ctx, delta)
+	} else {
+		// Full snapshot: always a from-scratch solve, and resets the
+		// incremental engine's state.
+		rep, err = wt.tracker.ObserveCtx(ctx, observed)
 	}
-	rep, err := wt.tracker.ObserveCtx(ctx, observed)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%s", err)
 		return
 	}
-	wt.last = observed
 	report := WatchReport{
 		Step:        rep.Step,
 		Anomalous:   rep.Anomalous(),
@@ -545,6 +585,8 @@ func (s *Server) handleWatchObserve(w http.ResponseWriter, r *http.Request, name
 		Contrast:    rep.Contrast,
 		Affinity:    rep.Affinity,
 		Interrupted: rep.Interrupted,
+		Mode:        rep.Mode,
+		WarmHit:     rep.WarmHit,
 		ObservedAt:  time.Now(),
 		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
 	}
@@ -563,14 +605,9 @@ func (s *Server) handleWatchObserve(w http.ResponseWriter, r *http.Request, name
 		wt.reports[wt.head] = report
 		wt.head = (wt.head + 1) % wt.ringCap
 	}
-	// Mirror the post-fold expectation and delta base for the checkpointer
-	// (Expectation is lock-cheap here: the tracker's observe already
-	// finished).
-	wt.expectSnap = wt.tracker.Expectation()
-	wt.lastSnap = observed
 	wt.mu.Unlock()
 
-	s.watches.recordObservation(report.Anomalous)
+	s.watches.recordObservation(&report)
 	if s.persist != nil {
 		s.persist.markDirty(wt)
 	}

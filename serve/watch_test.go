@@ -349,8 +349,9 @@ func TestWatchReadsDontBlockDuringObserve(t *testing.T) {
 // TestWatchEndToEnd is the acceptance test: a planted dense subgraph
 // injected at step k of a synthetic stream is reported at step k and
 // absorbed (not re-reported) within a few subsequent steps — and feeding the
-// same stream as edge deltas produces reports bitwise-identical to full
-// snapshot feeding.
+// same stream as edge deltas produces reports equivalent to full snapshot
+// feeding (same verdicts and sets, contrasts equal up to the incremental
+// engine's floating-point tolerance).
 func TestWatchEndToEnd(t *testing.T) {
 	const (
 		n      = 60
@@ -412,16 +413,42 @@ func TestWatchEndToEnd(t *testing.T) {
 		t.Fatalf("planted clique never absorbed: %+v", fullReports[inject:])
 	}
 
-	// Delta feeding is bitwise-equivalent to full-snapshot feeding.
+	// Delta feeding is equivalent to full-snapshot feeding: identical
+	// verdicts and vertex sets, contrasts within floating-point tolerance
+	// (the incremental path maintains the difference graph as a lazily
+	// scaled accumulator, so the arithmetic is not bitwise the snapshot
+	// path's), and every delta tick carries a mode tag.
 	for i := range fullReports {
 		f, d := fullReports[i], deltaReports[i]
 		if f.Step != d.Step || f.Anomalous != d.Anomalous || f.Interrupted != d.Interrupted ||
-			math.Float64bits(f.Contrast) != math.Float64bits(d.Contrast) ||
-			math.Float64bits(f.Affinity) != math.Float64bits(d.Affinity) ||
+			!approxEq(f.Contrast, d.Contrast) || !approxEq(f.Affinity, d.Affinity) ||
 			fmt.Sprint(f.S) != fmt.Sprint(d.S) {
 			t.Fatalf("step %d: delta report %+v differs from full report %+v", i+1, d, f)
 		}
+		if f.Mode != "scratch" {
+			t.Fatalf("step %d: full report mode %q, want scratch", i+1, f.Mode)
+		}
+		if d.Mode != "scratch" && d.Mode != "incremental" {
+			t.Fatalf("step %d: delta report mode %q", i+1, d.Mode)
+		}
 	}
+
+	// The health counters saw both paths.
+	st := s.watches.stats()
+	if st.Observations != 2*steps || st.ScratchTicks+st.IncrementalTicks != st.Observations {
+		t.Fatalf("tick counters don't add up: %+v", st)
+	}
+	if st.IncrementalTicks == 0 {
+		t.Fatalf("no incremental ticks recorded: %+v", st)
+	}
+}
+
+// approxEq compares two solver outputs up to the relative tolerance the
+// incremental engine's rescaled arithmetic can accumulate.
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
 }
 
 func TestSnapshotDelete(t *testing.T) {
