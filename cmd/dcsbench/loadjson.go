@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dcslib/dcs/internal/datagen"
+	"github.com/dcslib/dcs/internal/dataio"
+	"github.com/dcslib/dcs/internal/graph"
+)
+
+// loadPathResult is one (graph size × load path × temperature) row of the
+// -json -load output: how long it takes to go from a file on disk to a
+// servable *graph.Graph through that path, and what the result costs to keep.
+type loadPathResult struct {
+	Path      string `json:"path"` // heap_tsv | heap_binary_v1 | mmap_v2 | mmap_v2_compressed
+	FileBytes int64  `json:"file_bytes"`
+	// Every rep opens the file from scratch — nothing survives between reps
+	// but the OS page cache. ColdNs is the median open, WarmNs the fastest
+	// (everything cached and the machine quiet).
+	ColdNs int64 `json:"cold_ns"`
+	WarmNs int64 `json:"warm_ns"`
+	// HeapBytes is the Go-heap growth attributable to one resident copy of
+	// the loaded graph (ReadMemStats delta around the load, GC-fenced); for
+	// mmap paths it covers only the decoded offset index and any shadow
+	// buffers — the adjacency stays in the mapping.
+	HeapBytes   int64 `json:"heap_bytes"`
+	MappedBytes int64 `json:"mapped_bytes"`
+}
+
+// loadSweepResult groups the load paths measured against one graph size.
+type loadSweepResult struct {
+	N     int              `json:"n"`
+	M     int              `json:"m"`
+	Paths []loadPathResult `json:"paths"`
+}
+
+// loadBenchReport is the BENCH_load.json payload.
+type loadBenchReport struct {
+	Go     string            `json:"go"`
+	GOOS   string            `json:"goos"`
+	GOARCH string            `json:"goarch"`
+	Quick  bool              `json:"quick"`
+	Seed   int64             `json:"seed"`
+	Sweeps []loadSweepResult `json:"sweeps"`
+	// PeakRSSBytes is the process high-water resident set (VmHWM) after the
+	// whole sweep, 0 where /proc is unavailable. The per-path heap/mapped
+	// columns are the comparable numbers; this is the absolute ceiling the
+	// sweep needed.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+}
+
+// runLoadJSON benchmarks the snapshot load paths the server can serve a graph
+// through — heap TSV parse, heap binary v1, and the mmap-backed v2 layout
+// (raw and varint-delta compressed) — cold and warm, across graph sizes, and
+// writes one BENCH_load.json document. Every path's result is checked against
+// the TSV baseline (n, m, total weight) before its timing is reported, so a
+// fast-but-wrong reader cannot produce a flattering row.
+func runLoadJSON(w io.Writer, quick bool, seed int64) error {
+	if seed == 0 {
+		seed = 7
+	}
+	sizes := []int{1000, 4000, 12000}
+	if quick {
+		sizes = []int{500, 2000}
+	}
+	dir, err := os.MkdirTemp("", "dcsbench-load-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	report := loadBenchReport{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Quick:  quick,
+		Seed:   seed,
+	}
+	for _, n := range sizes {
+		d := datagen.CoauthorPair(datagen.CoauthorConfig{Seed: seed, N: n})
+		g := d.G1
+		paths := map[string]string{
+			"heap_tsv":           filepath.Join(dir, "g"+strconv.Itoa(n)+".tsv"),
+			"heap_binary_v1":     filepath.Join(dir, "g"+strconv.Itoa(n)+"-v1"+dataio.BinaryExt),
+			"mmap_v2":            filepath.Join(dir, "g"+strconv.Itoa(n)+"-v2"+dataio.BinaryExt),
+			"mmap_v2_compressed": filepath.Join(dir, "g"+strconv.Itoa(n)+"-v2c"+dataio.BinaryExt),
+		}
+		if err := dataio.WriteGraphFile(paths["heap_tsv"], g); err != nil {
+			return err
+		}
+		if err := dataio.WriteBinaryFile(paths["heap_binary_v1"], g); err != nil {
+			return err
+		}
+		if err := dataio.WriteBinaryV2File(paths["mmap_v2"], g, false); err != nil {
+			return err
+		}
+		if err := dataio.WriteBinaryV2File(paths["mmap_v2_compressed"], g, true); err != nil {
+			return err
+		}
+
+		sweep := loadSweepResult{N: g.N(), M: g.M()}
+		for _, name := range []string{"heap_tsv", "heap_binary_v1", "mmap_v2", "mmap_v2_compressed"} {
+			row, err := measureLoadPath(name, paths[name], g)
+			if err != nil {
+				return fmt.Errorf("n=%d %s: %w", n, name, err)
+			}
+			sweep.Paths = append(sweep.Paths, row)
+		}
+		report.Sweeps = append(report.Sweeps, sweep)
+	}
+	report.PeakRSSBytes = peakRSSBytes()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// measureLoadPath times repeated fresh opens of one file through one load
+// path: the median rep is the cold number, the fastest the warm one.
+func measureLoadPath(name, path string, want *graph.Graph) (loadPathResult, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return loadPathResult{}, err
+	}
+	row := loadPathResult{Path: name, FileBytes: fi.Size()}
+
+	open := func() (*graph.Graph, func(), int64, error) {
+		switch name {
+		case "heap_tsv":
+			g, err := dataio.ReadGraphFile(path)
+			return g, nil, 0, err
+		case "heap_binary_v1":
+			g, err := dataio.ReadBinaryFile(path)
+			return g, nil, 0, err
+		default:
+			m, err := dataio.OpenMapped(path)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			return m.Graph(), func() { m.Close() }, m.MappedBytes(), nil
+		}
+	}
+
+	check := func(g *graph.Graph, release func()) error {
+		if g.N() != want.N() || g.M() != want.M() ||
+			!closeEnough(g.TotalWeight(), want.TotalWeight()) {
+			if release != nil {
+				release()
+			}
+			return fmt.Errorf(
+				"loaded graph mismatches TSV baseline: n=%d m=%d tw=%g, want n=%d m=%d tw=%g",
+				g.N(), g.M(), g.TotalWeight(), want.N(), want.M(), want.TotalWeight())
+		}
+		return nil
+	}
+
+	// One GC fence before the timed reps isolates this path from the
+	// previous one's garbage; the reps themselves run unfenced — a forced
+	// collection immediately before an open is a harness artifact no real
+	// loader pays. Each rep is a full fresh open (the previous graph is
+	// released first), so the median is the honest open latency and the
+	// minimum the best case; a single sample would be noise-bound on a
+	// shared machine.
+	runtime.GC()
+	const reps = 9
+	times := make([]int64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		g, release, _, err := open()
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return loadPathResult{}, err
+		}
+		if err := check(g, release); err != nil {
+			return loadPathResult{}, err
+		}
+		times = append(times, elapsed)
+		if release != nil {
+			release()
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	row.ColdNs = times[len(times)/2]
+	row.WarmNs = times[0]
+
+	// A separate GC-fenced rep measures what one resident copy costs the
+	// heap, outside the timing loop.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	g, release, mapped, err := open()
+	if err != nil {
+		return loadPathResult{}, err
+	}
+	runtime.ReadMemStats(&after)
+	if err := check(g, release); err != nil {
+		return loadPathResult{}, err
+	}
+	row.HeapBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	row.MappedBytes = mapped
+	if release != nil {
+		release()
+	}
+	return row, nil
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+// peakRSSBytes reads the process peak resident set from /proc/self/status
+// (VmHWM, kB); returns 0 on platforms without procfs.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

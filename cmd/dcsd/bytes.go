@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// parseBytes parses a human byte size for -memlimit: a plain number is
+// bytes, binary suffixes (KiB, MiB, GiB, TiB — and the bare K, M, G, T
+// shorthands) multiply by 1024, decimal ones (KB, MB, GB, TB) by 1000.
+// Case-insensitive; fractions like 1.5GiB work. Empty or "0" means
+// unlimited (returns 0).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			upper = strings.TrimSuffix(upper, suf.name)
+			break
+		}
+	}
+	num := strings.TrimSpace(upper)
+	if num == "" {
+		return 0, fmt.Errorf("size %q has no number", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("size %q is negative", s)
+	}
+	bytes := v * float64(mult)
+	if bytes > math.MaxInt64 {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return int64(bytes), nil
+}

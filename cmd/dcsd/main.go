@@ -7,7 +7,8 @@
 //
 //	dcsd [-addr :8080] [-pool 4] [-parallelism 0] [-maxpar 0] [-cache 64]
 //	     [-timeout 0] [-maxqueue 0] [-jobs 256] [-watches 64] [-resync 0]
-//	     [-data DIR] [-checkpoint 30s] [-load name=graph.tsv ...]
+//	     [-data DIR] [-checkpoint 30s] [-memlimit 256MiB]
+//	     [-load name=graph.tsv ...]
 //
 // -parallelism sets the default worker-goroutine degree inside each solve
 // (requests may override it with their "parallelism" field) and -maxpar caps
@@ -19,6 +20,15 @@
 // periodically (-checkpoint) and on SIGTERM/SIGINT, and a restart recovers
 // everything — uploads, watch expectations, report rings — instead of
 // booting empty. Restore counts are logged at boot and exposed on /healthz.
+//
+// With -data, snapshots are also served out-of-core: graphs are persisted in
+// the mmap-friendly v2 binary layout, memory-mapped read-only on first use
+// (the kernel page cache holds the adjacency, not the Go heap), and
+// -memlimit bounds the total bytes of open snapshot mappings — the coldest
+// unpinned ones are unmapped beyond it and re-mapped on demand, so a
+// snapshot set far larger than RAM (or GOMEMLIMIT) serves correctly. The
+// /healthz "memory" block reports mapped bytes, open/pinned counts and
+// eviction counters.
 //
 // Each -load flag (repeatable) preloads an edge list as a named snapshot
 // before the server starts; the format follows the file extension (.dcsg
@@ -82,6 +92,9 @@ func main() {
 		"data directory for durable snapshots and watches (empty = in-memory only)")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second,
 		"watch-state checkpoint interval with -data (0 disables periodic checkpoints)")
+	memLimit := flag.String("memlimit", "",
+		"memory budget for open snapshot graphs with -data, e.g. 256MiB or 2GB "+
+			"(empty/0 = unlimited; cold snapshots are unmapped LRU-first beyond it)")
 	var loads []string
 	flag.Func("load", "preload a snapshot as name=path.tsv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -122,6 +135,13 @@ func main() {
 	if cpInterval <= 0 {
 		cpInterval = -1 // Config convention: negative disables the loop
 	}
+	memBudget, err := parseBytes(*memLimit)
+	if err != nil {
+		log.Fatalf("-memlimit: %v", err)
+	}
+	if memBudget > 0 && *dataDir == "" {
+		log.Fatal("-memlimit requires -data (in-memory snapshots cannot be unmapped)")
+	}
 	// No srv.Close() on the fatal paths: main only ever exits through
 	// log.Fatal (which skips defers) and process death reclaims everything;
 	// the signal handler below covers the graceful stop.
@@ -136,6 +156,7 @@ func main() {
 		MaxWatches:         maxWatches,
 		WatchResync:        *resync,
 		CheckpointInterval: cpInterval,
+		MemLimit:           memBudget,
 	}
 	var srv *serve.Server
 	if *dataDir != "" {
@@ -183,7 +204,7 @@ func main() {
 
 	log.Printf("listening on %s (pool=%d, parallelism=%d, maxpar=%d, timeout=%v, snapshots=%d)",
 		*addr, *pool, par, *maxPar, *timeout, srv.Store().Len())
-	err := httpSrv.ListenAndServe()
+	err = httpSrv.ListenAndServe()
 	if err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dcsgen -out DIR [-seed N] [-scale 1] [-binary] [dataset ...]
+//	dcsgen -out DIR [-seed N] [-scale 1] [-binary | -v2 [-compress]] [dataset ...]
 //
 // Datasets: dblp, dm, wiki, movie, book, dblpc, actor (default: all). Each
 // dataset produces <name>-g1.tsv, <name>-g2.tsv and <name>-labels.txt
@@ -11,6 +11,13 @@
 // written in the binary .dcsg format instead of TSV — an order of magnitude
 // faster to load back through dcsd -load, dcsfind and the persistence
 // layer.
+//
+// -v2 writes the page-aligned v2 binary layout instead: the format dcsd
+// memory-maps and serves in place (see dcsd -memlimit), streamed to disk
+// row-by-row — the encoder never materializes a second copy of the CSR, so
+// generating graphs much larger than memory headroom works. -compress adds
+// varint-delta neighbor ids and palette weights for 2–4× smaller files (a
+// compressed file is decoded on open rather than aliased in place).
 package main
 
 import (
@@ -33,10 +40,17 @@ func main() {
 	scale := flag.Float64("scale", 1, "size multiplier for all datasets")
 	binary := flag.Bool("binary", false,
 		"write graphs in the binary "+dataio.BinaryExt+" format instead of TSV")
+	v2 := flag.Bool("v2", false,
+		"write graphs in the mmap-friendly v2 binary layout (streamed row-by-row)")
+	compress := flag.Bool("compress", false,
+		"with -v2: varint-delta ids and palette weights (2-4x smaller, decoded on open)")
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *compress && !*v2 {
+		log.Fatal("-compress requires -v2")
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -53,12 +67,21 @@ func main() {
 		return v
 	}
 	gext := ".tsv"
-	if *binary {
+	if *binary || *v2 {
 		gext = dataio.BinaryExt
 	}
+	// The v2 path streams each row straight to the output file (the encoder
+	// seeks back for the header afterwards): no second in-memory copy of the
+	// CSR is built, however large the generated graph.
+	writeGraph := func(path string, g *graph.Graph) error {
+		if *v2 {
+			return dataio.WriteBinaryV2File(path, g, *compress)
+		}
+		return dataio.WriteGraphFileAuto(path, g)
+	}
 	writePair := func(name string, g1, g2 *graph.Graph, labels []string) {
-		must(dataio.WriteGraphFileAuto(filepath.Join(*out, name+"-g1"+gext), g1))
-		must(dataio.WriteGraphFileAuto(filepath.Join(*out, name+"-g2"+gext), g2))
+		must(writeGraph(filepath.Join(*out, name+"-g1"+gext), g1))
+		must(writeGraph(filepath.Join(*out, name+"-g2"+gext), g2))
 		must(dataio.WriteLabelsFile(filepath.Join(*out, name+"-labels.txt"), labels))
 		fmt.Printf("%s: n=%d m1=%d m2=%d\n", name, g1.N(), g1.M(), g2.M())
 	}
@@ -88,7 +111,7 @@ func main() {
 			writePair("dblpc", d.G1, d.G2, d.Labels)
 		case "actor":
 			d := datagen.ActorGraph(datagen.ActorConfig{Seed: *seed + 6, N: sz(3000)})
-			must(dataio.WriteGraphFileAuto(filepath.Join(*out, "actor-gd"+gext), d.GD))
+			must(writeGraph(filepath.Join(*out, "actor-gd"+gext), d.GD))
 			must(dataio.WriteLabelsFile(filepath.Join(*out, "actor-labels.txt"), d.Labels))
 			fmt.Printf("actor: n=%d m=%d\n", d.GD.N(), d.GD.M())
 		default:

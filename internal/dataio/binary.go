@@ -124,12 +124,32 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph in the binary format, verifying the trailing
-// checksum and every structural invariant before returning it. A truncated,
-// bit-flipped or otherwise corrupt input yields an error, never a malformed
-// graph.
+// ReadBinary reads a graph in the binary format — either version — into an
+// ordinary heap graph, verifying the integrity checksums and every
+// structural invariant before returning it. A truncated, bit-flipped or
+// otherwise corrupt input yields an error, never a malformed graph. For
+// zero-copy access to a v2 file use OpenMapped instead.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	pre, err := br.Peek(6)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: truncated binary graph: %w", err)
+	}
+	if string(pre[0:4]) != binaryMagic {
+		return nil, fmt.Errorf("dataio: bad magic %q: not a binary graph file", pre[0:4])
+	}
+	switch v := binary.LittleEndian.Uint16(pre[4:6]); v {
+	case binaryVersion:
+		return readBinaryV1(br)
+	case binaryVersion2:
+		return readBinaryV2(br)
+	default:
+		return nil, fmt.Errorf("dataio: unsupported binary graph version %d", v)
+	}
+}
+
+// readBinaryV1 reads a version-1 file from the start of br.
+func readBinaryV1(br *bufio.Reader) (*graph.Graph, error) {
 	crc := uint32(0)
 	// readFull pulls exactly len(p) payload bytes, folding them into the
 	// running checksum.

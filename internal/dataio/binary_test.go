@@ -255,3 +255,25 @@ func BenchmarkReadTSV(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkOpenMappedV2(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(9)), 5000)
+	path := filepath.Join(b.TempDir(), "g"+BinaryExt)
+	if err := WriteBinaryV2File(path, g, false); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package dataio
+
+import "os"
+
+// mapFile on platforms without a usable mmap: read the file into the heap.
+// The v2 open path still works — sections are aliased or decoded from the
+// buffer — but the bytes are accounted as shadow (heap) memory, not as a
+// mapping.
+func mapFile(f *os.File, size int64) (data []byte, release func(), mapped bool, err error) {
+	return readFileFallback(f, size)
+}

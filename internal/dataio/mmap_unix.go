@@ -1,0 +1,28 @@
+//go:build unix
+
+package dataio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The release closure unmaps;
+// mapped reports whether the bytes are a true file mapping (false on the
+// heap-read fallback, so callers account the memory correctly). The file
+// descriptor may be closed once mapFile returns — the mapping survives it.
+func mapFile(f *os.File, size int64) (data []byte, release func(), mapped bool, err error) {
+	if size == 0 {
+		return nil, func() {}, false, nil
+	}
+	if int64(int(size)) != size {
+		return readFileFallback(f, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts) land
+		// here; serve the file from the heap instead of failing the open.
+		return readFileFallback(f, size)
+	}
+	return b, func() { _ = syscall.Munmap(b) }, true, nil
+}

@@ -1,0 +1,25 @@
+package dataio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/dcslib/dcs/internal/datagen"
+)
+
+func BenchmarkOpenMappedProfTmp(b *testing.B) {
+	d := datagen.CoauthorPair(datagen.CoauthorConfig{Seed: 7, N: 12000})
+	path := filepath.Join(b.TempDir(), "g"+BinaryExt)
+	if err := WriteBinaryV2File(path, d.G1, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// toBacked converts a plain heap graph to parallel-array backed form through
+// FromCSRBacked, as dataio's mmap open path does.
+func toBacked(t *testing.T, g *Graph, release func()) *Graph {
+	t.Helper()
+	off, nbr := g.CSR()
+	ids := make([]int32, len(nbr))
+	ws := make([]float64, len(nbr))
+	for i, nb := range nbr {
+		ids[i] = int32(nb.To)
+		ws[i] = nb.W
+	}
+	b, err := FromCSRBacked(g.N(), off, ids, ws, release)
+	if err != nil {
+		t.Fatalf("FromCSRBacked: %v", err)
+	}
+	return b
+}
+
+// sameAsHeap asserts got and want are the same graph bitwise: headers, every
+// edge weight, and the per-vertex accessors.
+func sameAsHeap(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.TotalWeight() != want.TotalWeight() {
+		t.Fatalf("%s: header mismatch: n=%d m=%d tw=%v, want n=%d m=%d tw=%v",
+			label, got.N(), got.M(), got.TotalWeight(), want.N(), want.M(), want.TotalWeight())
+	}
+	ge, we := edgeMap(got), edgeMap(want)
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d edges, want %d", label, len(ge), len(we))
+	}
+	for k, w := range we {
+		if ge[k] != w {
+			t.Fatalf("%s: edge %v = %v, want %v", label, k, ge[k], w)
+		}
+	}
+	for u := 0; u < want.N(); u++ {
+		if got.OutDegree(u) != want.OutDegree(u) {
+			t.Fatalf("%s: OutDegree(%d) = %d, want %d", label, u, got.OutDegree(u), want.OutDegree(u))
+		}
+		if got.WeightedDegree(u) != want.WeightedDegree(u) {
+			t.Fatalf("%s: WeightedDegree(%d) = %v, want %v", label, u, got.WeightedDegree(u), want.WeightedDegree(u))
+		}
+		gn, wn := got.Neighbors(u), want.Neighbors(u)
+		if len(gn) != len(wn) {
+			t.Fatalf("%s: len(Neighbors(%d)) = %d, want %d", label, u, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("%s: Neighbors(%d)[%d] = %+v, want %+v", label, u, i, gn[i], wn[i])
+			}
+			if w := got.Weight(u, wn[i].To); w != wn[i].W {
+				t.Fatalf("%s: Weight(%d,%d) = %v, want %v", label, u, wn[i].To, w, wn[i].W)
+			}
+		}
+	}
+}
+
+// TestBackedEquivalence drives every Graph accessor on a backed graph, its
+// views, and graphs merged from it, asserting bitwise equality with the heap
+// twin.
+func TestBackedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{0, 1, 2, 17, 80} {
+		h := randomTestGraph(rng, n, 0.15)
+		b := toBacked(t, h, nil)
+		if !b.Backed() {
+			t.Fatal("Backed() = false on FromCSRBacked graph")
+		}
+		sameAsHeap(t, "base", b, h)
+
+		// Views over backed storage.
+		sameAsHeap(t, "pos view", b.PositivePart(), h.PositivePart())
+		sameAsHeap(t, "pos compact", b.PositivePartCompact(), h.PositivePartCompact())
+		if n > 3 {
+			S := []int{0, 2, n - 1}
+			sameAsHeap(t, "without", b.WithoutVertices(S), h.WithoutVertices(S))
+			sameAsHeap(t, "without+pos", b.WithoutVertices(S).PositivePart(), h.WithoutVertices(S).PositivePart())
+			sameAsHeap(t, "without compact", b.WithoutVertices(S).Compact(), h.WithoutVertices(S).Compact())
+		}
+
+		// Compact on a plain backed graph is the identity; Materialize and
+		// CSR yield heap storage equal to the original.
+		if b.Compact() != b {
+			t.Fatal("Compact() on a plain backed graph must return the graph itself")
+		}
+		mat := b.Materialize()
+		if mat.Backed() {
+			t.Fatal("Materialize() must return heap storage")
+		}
+		sameAsHeap(t, "materialize", mat, h)
+		boff, bnbr := b.CSR()
+		hoff, hnbr := h.CSR()
+		if len(boff) != len(hoff) || len(bnbr) != len(hnbr) {
+			t.Fatalf("CSR length mismatch: %d/%d vs %d/%d", len(boff), len(bnbr), len(hoff), len(hnbr))
+		}
+		for i := range boff {
+			if boff[i] != hoff[i] {
+				t.Fatalf("CSR off[%d]: %d vs %d", i, boff[i], hoff[i])
+			}
+		}
+		for i := range bnbr {
+			if bnbr[i] != hnbr[i] {
+				t.Fatalf("CSR nbr[%d]: %+v vs %+v", i, bnbr[i], hnbr[i])
+			}
+		}
+
+		// Merge machinery: difference, blend, delta, maintainer seeding.
+		h2 := randomTestGraph(rng, n, 0.15)
+		b2 := toBacked(t, h2, nil)
+		sameAsHeap(t, "difference", DifferenceAlpha(b2, b, 0.7), DifferenceAlpha(h2, h, 0.7))
+		sameAsHeap(t, "blend", Blend(b, b2, 0.25, 0.75), Blend(h, h2, 0.25, 0.75))
+		if n > 2 {
+			delta := []Edge{{U: 0, V: 1, W: 3.5}, {U: 1, V: 2, W: -2}}
+			sameAsHeap(t, "delta", ApplyDelta(b, delta), ApplyDelta(h, delta))
+			mb := NewMaintainer(b, b2, 0.5)
+			mh := NewMaintainer(h, h2, 0.5)
+			sameAsHeap(t, "maintainer diff", mb.DiffGraph(), mh.DiffGraph())
+		}
+
+		// Scalar transforms materialize off backed storage.
+		sameAsHeap(t, "negate", b.Negate(), h.Negate())
+		sameAsHeap(t, "scale", b.Scale(2.5), h.Scale(2.5))
+	}
+}
+
+func TestBackedRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	released := 0
+	g := toBacked(t, randomTestGraph(rng, 20, 0.2), func() { released++ })
+	if released != 0 {
+		t.Fatal("release hook ran before Release")
+	}
+	g.Release()
+	if released != 1 {
+		t.Fatalf("release hook ran %d times, want 1", released)
+	}
+	g.Release() // idempotent
+	if released != 1 {
+		t.Fatalf("Release must run the hook at most once; ran %d times", released)
+	}
+	if toBacked(t, randomTestGraph(rng, 5, 0.5), nil).StorageBytes() == 0 {
+		t.Fatal("StorageBytes() = 0 on a non-empty backed graph")
+	}
+}
+
+func TestFromCSRBackedRejectsCorruptInput(t *testing.T) {
+	// A valid 3-vertex path to perturb: edges (0,1,w=2), (1,2,w=-3).
+	base := func() (off []int, ids []int32, ws []float64) {
+		return []int{0, 1, 3, 4},
+			[]int32{1, 0, 2, 1},
+			[]float64{2, 2, -3, -3}
+	}
+	cases := []struct {
+		name string
+		mut  func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64)
+	}{
+		{"bad n", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			return -1, off, ids, ws
+		}},
+		{"offsets length", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			return 3, off[:3], ids, ws
+		}},
+		{"parallel length mismatch", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			return 3, off, ids, ws[:3]
+		}},
+		{"offsets end short", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			off[3] = 3
+			return 3, off, ids, ws
+		}},
+		{"offsets decrease", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			off[1], off[2] = 3, 1
+			return 3, off, ids, ws
+		}},
+		{"neighbor out of range", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			ids[2] = 9
+			return 3, off, ids, ws
+		}},
+		{"self-loop", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			ids[0] = 0
+			return 3, off, ids, ws
+		}},
+		{"row not increasing", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			ids[1], ids[2] = 2, 0
+			return 3, off, ids, ws
+		}},
+		{"zero weight", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			ws[0], ws[1] = 0, 0
+			return 3, off, ids, ws
+		}},
+		{"mirror weight mismatch", func(off []int, ids []int32, ws []float64) (int, []int, []int32, []float64) {
+			ws[1] = 2.0000001
+			return 3, off, ids, ws
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, off, ids, ws := tc.mut(base())
+			if _, err := FromCSRBacked(n, off, ids, ws, nil); err == nil {
+				t.Fatalf("FromCSRBacked accepted corrupt input (%s)", tc.name)
+			}
+		})
+	}
+	// The unperturbed base must be accepted, or the cases above prove nothing.
+	off, ids, ws := base()
+	if _, err := FromCSRBacked(3, off, ids, ws, nil); err != nil {
+		t.Fatalf("FromCSRBacked rejected valid input: %v", err)
+	}
+}
+
+// TestPositivePartCompactMemoized asserts the plain-graph memoization: two
+// calls return the same materialization, and views still get correct (fresh)
+// results.
+func TestPositivePartCompactMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := randomTestGraph(rng, 40, 0.2)
+	p1, p2 := g.PositivePartCompact(), g.PositivePartCompact()
+	if p1 != p2 {
+		t.Fatal("PositivePartCompact not memoized on a plain graph")
+	}
+	sameAsHeap(t, "memoized pos", p1, g.PositivePart().Compact())
+	v := g.WithoutVertices([]int{1, 2})
+	vp := v.PositivePartCompact()
+	if vp.IsView() {
+		t.Fatal("PositivePartCompact on a view returned a view")
+	}
+	sameAsHeap(t, "view pos", vp, v.PositivePart().Compact())
+}

@@ -12,10 +12,15 @@ import (
 // storage — callers must not modify them; on a view the visible entries are
 // compacted into fresh arrays first. This is the export hook the binary
 // graph codec (internal/dataio) serializes from: dumping the arrays verbatim
-// round-trips the graph byte-exactly with no per-edge re-sorting.
+// round-trips the graph byte-exactly with no per-edge re-sorting. A backed
+// graph (FromCSRBacked) has no interleaved array to expose, so its entries
+// are materialized into fresh heap arrays first (see Materialize).
 func (g *Graph) CSR() (off []int, nbr []Neighbor) {
 	if !g.plain() {
 		g = g.Compact()
+	}
+	if g.backed() {
+		g = g.Materialize()
 	}
 	return g.off, g.nbr
 }

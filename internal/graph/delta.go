@@ -52,7 +52,7 @@ func ApplyDelta(base *Graph, delta []Edge) *Graph {
 	}
 	// Tandem merge: a delta entry overrides the base weight outright (its
 	// zero-result drop is exactly the removal), absent entries keep base's.
-	return mergeRows(n, len(base.nbr)+len(dnbr), base.row,
+	return mergeRows(n, base.entries()+len(dnbr), base.rowFn(),
 		func(u int) []Neighbor { return dnbr[doff[u]:doff[u+1]] },
 		func(w1, w2 float64, _, in2 bool) float64 {
 			if in2 {

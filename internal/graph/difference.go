@@ -39,7 +39,7 @@ func merge2(g1, g2 *Graph, f func(w1, w2 float64) float64) *Graph {
 		panic(fmt.Sprintf("graph: combining graphs with different vertex counts %d vs %d", g1.N(), g2.N()))
 	}
 	g1, g2 = g1.Compact(), g2.Compact()
-	return mergeRows(g1.n, len(g1.nbr)+len(g2.nbr), g1.row, g2.row,
+	return mergeRows(g1.n, g1.entries()+g2.entries(), g1.rowFn(), g2.rowFn(),
 		func(w1, w2 float64, _, _ bool) float64 { return f(w1, w2) })
 }
 

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Neighbor is one entry of an adjacency list: an incident edge to vertex To
@@ -64,15 +65,35 @@ type Graph struct {
 	totalW float64 // sum of weights over visible undirected edges
 
 	// CSR storage, shared (never mutated) between a graph and its views.
-	off []int      // len n+1; row u is nbr[off[u]:off[u+1]]
+	// Exactly one of the two adjacency representations is populated:
+	// interleaved nbr for heap graphs, or the parallel arrays ids/ws for
+	// backed graphs (FromCSRBacked), whose storage is externally owned and
+	// may alias a read-only memory mapping. See backed.go.
+	off []int      // len n+1; row u is entries off[u]:off[u+1]
 	nbr []Neighbor // flat directed adjacency, each undirected edge twice
+	ids []int32    // backed form: neighbor id of entry i
+	ws  []float64  // backed form: weight of entry i
+
+	// release tears down externally owned backed storage (e.g. munmap);
+	// nil on heap graphs and on views. See Release.
+	release func()
+
+	// pos memoizes PositivePartCompact on plain graphs, so the several
+	// solver entry points deriving GD+ from one difference graph share a
+	// single materialization. Views never populate it.
+	pos atomic.Pointer[Graph]
 
 	// View state. A plain graph has drop == nil and posOnly == false.
 	drop    []bool // drop[v] hides every edge incident to v; nil = none
 	posOnly bool   // hide edges with W ≤ 0
 }
 
-// row returns u's base adjacency row, ignoring any masks.
+// backed reports whether adjacency lives in the parallel arrays ids/ws.
+func (g *Graph) backed() bool { return g.ids != nil }
+
+// row returns u's base adjacency row, ignoring any masks. Interleaved
+// (heap) storage only — backed graphs have no []Neighbor array to slice;
+// storage-neutral callers go through rowFn or visitRow instead.
 func (g *Graph) row(u int) []Neighbor { return g.nbr[g.off[u]:g.off[u+1]] }
 
 // plain reports whether g has no masks (storage = visible graph).
@@ -103,8 +124,8 @@ func (g *Graph) TotalWeight() float64 { return g.totalW }
 func (g *Graph) IsView() bool { return !g.plain() }
 
 // Compact materializes g into a plain CSR graph with no masks. It returns g
-// itself when g is already plain; otherwise it copies the visible entries
-// into fresh arrays (two allocations).
+// itself when g is already plain (including plain backed graphs); otherwise
+// it copies the visible entries into fresh heap arrays (two allocations).
 func (g *Graph) Compact() *Graph {
 	if g.plain() {
 		return g
@@ -116,34 +137,34 @@ func (g *Graph) Compact() *Graph {
 		if g.dropped(u) {
 			continue
 		}
-		for _, nb := range g.row(u) {
-			if g.visibleTo(nb.To, nb.W) {
-				nbr = append(nbr, nb)
+		g.visitRow(u, func(to int, w float64) {
+			if g.visibleTo(to, w) {
+				nbr = append(nbr, Neighbor{To: to, W: w})
 			}
-		}
+		})
 	}
 	off[g.n] = len(nbr)
 	return &Graph{n: g.n, m: g.m, totalW: g.totalW, off: off, nbr: nbr}
 }
 
 // Neighbors returns the adjacency list of u, sorted by neighbor id. On a
-// plain graph this is a zero-copy subslice of the CSR array, owned by the
-// graph and not to be modified. On a view it is a freshly allocated filtered
-// copy — hot loops that may receive views should use VisitNeighbors instead.
+// plain heap graph this is a zero-copy subslice of the CSR array, owned by
+// the graph and not to be modified. On a view or a backed graph it is a
+// freshly allocated copy — hot loops that may receive either should use
+// VisitNeighbors instead.
 func (g *Graph) Neighbors(u int) []Neighbor {
-	if g.plain() {
+	if g.plain() && !g.backed() {
 		return g.row(u)
 	}
 	if g.dropped(u) {
 		return nil
 	}
-	row := g.row(u)
-	out := make([]Neighbor, 0, len(row))
-	for _, nb := range row {
-		if g.visibleTo(nb.To, nb.W) {
-			out = append(out, nb)
+	out := make([]Neighbor, 0, g.off[u+1]-g.off[u])
+	g.visitRow(u, func(to int, w float64) {
+		if g.visibleTo(to, w) {
+			out = append(out, Neighbor{To: to, W: w})
 		}
-	}
+	})
 	return out
 }
 
@@ -151,6 +172,10 @@ func (g *Graph) Neighbors(u int) []Neighbor {
 // order. It never allocates, on plain graphs and views alike; it is the
 // iteration primitive the solvers use on derived graphs.
 func (g *Graph) VisitNeighbors(u int, fn func(v int, w float64)) {
+	if g.backed() {
+		g.visitNeighborsBacked(u, fn)
+		return
+	}
 	if g.plain() {
 		for _, nb := range g.row(u) {
 			fn(nb.To, nb.W)
@@ -163,6 +188,27 @@ func (g *Graph) VisitNeighbors(u int, fn func(v int, w float64)) {
 	for _, nb := range g.row(u) {
 		if g.visibleTo(nb.To, nb.W) {
 			fn(nb.To, nb.W)
+		}
+	}
+}
+
+// visitNeighborsBacked is VisitNeighbors over parallel-array storage, with
+// the same mask semantics and the same allocation-free guarantee.
+func (g *Graph) visitNeighborsBacked(u int, fn func(v int, w float64)) {
+	if g.dropped(u) {
+		return
+	}
+	lo, hi := g.off[u], g.off[u+1]
+	ids, ws := g.ids, g.ws
+	if g.plain() {
+		for i := lo; i < hi; i++ {
+			fn(int(ids[i]), ws[i])
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if g.visibleTo(int(ids[i]), ws[i]) {
+			fn(int(ids[i]), ws[i])
 		}
 	}
 }
@@ -177,11 +223,11 @@ func (g *Graph) OutDegree(u int) int {
 		return 0
 	}
 	d := 0
-	for _, nb := range g.row(u) {
-		if g.visibleTo(nb.To, nb.W) {
+	g.visitRow(u, func(to int, w float64) {
+		if g.visibleTo(to, w) {
 			d++
 		}
-	}
+	})
 	return d
 }
 
@@ -189,7 +235,7 @@ func (g *Graph) OutDegree(u int) int {
 // degree W(u; G) in the whole graph.
 func (g *Graph) WeightedDegree(u int) float64 {
 	var s float64
-	if g.plain() {
+	if g.plain() && !g.backed() {
 		for _, nb := range g.row(u) {
 			s += nb.W
 		}
@@ -198,11 +244,11 @@ func (g *Graph) WeightedDegree(u int) float64 {
 	if g.dropped(u) {
 		return 0
 	}
-	for _, nb := range g.row(u) {
-		if g.visibleTo(nb.To, nb.W) {
-			s += nb.W
+	g.visitRow(u, func(to int, w float64) {
+		if g.visibleTo(to, w) {
+			s += w
 		}
-	}
+	})
 	return s
 }
 
@@ -210,6 +256,15 @@ func (g *Graph) WeightedDegree(u int) float64 {
 // (or is hidden by a mask).
 func (g *Graph) Weight(u, v int) float64 {
 	if g.dropped(u) || g.dropped(v) {
+		return 0
+	}
+	if g.backed() {
+		lo, hi := g.off[u], g.off[u+1]
+		ids := g.ids[lo:hi]
+		i := sort.Search(len(ids), func(i int) bool { return int(ids[i]) >= v })
+		if i < len(ids) && int(ids[i]) == v && !g.hides(g.ws[lo+i]) {
+			return g.ws[lo+i]
+		}
 		return 0
 	}
 	a := g.row(u)
@@ -235,6 +290,20 @@ func (g *Graph) Edges() []Edge {
 
 // VisitEdges calls fn for every visible undirected edge once, with u < v.
 func (g *Graph) VisitEdges(fn func(u, v int, w float64)) {
+	if g.backed() {
+		for u := 0; u < g.n; u++ {
+			if g.dropped(u) {
+				continue
+			}
+			for i := g.off[u]; i < g.off[u+1]; i++ {
+				to, w := int(g.ids[i]), g.ws[i]
+				if to > u && g.visibleTo(to, w) {
+					fn(u, to, w)
+				}
+			}
+		}
+		return
+	}
 	if g.plain() {
 		for u := 0; u < g.n; u++ {
 			for _, nb := range g.row(u) {
@@ -395,7 +464,7 @@ func (g *Graph) PositivePart() *Graph {
 	if g.posOnly {
 		return g
 	}
-	v := &Graph{n: g.n, off: g.off, nbr: g.nbr, drop: g.drop, posOnly: true}
+	v := &Graph{n: g.n, off: g.off, nbr: g.nbr, ids: g.ids, ws: g.ws, drop: g.drop, posOnly: true}
 	v.recount()
 	return v
 }
@@ -404,15 +473,25 @@ func (g *Graph) PositivePart() *Graph {
 // pass — equivalent to PositivePart().Compact() but without the intermediate
 // view's counting scan. This is what the solvers call at their entry: they
 // make many passes over GD+, so the two flat allocations amortize
-// immediately. Use PositivePart when only counts or a single scan of GD+ are
-// needed.
+// immediately. On plain graphs the result is memoized, so the several solver
+// entry points (and repeated dcsd requests against a cached difference
+// graph) that derive GD+ from the same graph share one materialization; the
+// memo is safe because graphs are immutable. Use PositivePart when only
+// counts or a single scan of GD+ are needed.
 func (g *Graph) PositivePartCompact() *Graph {
-	return g.mapWeights(func(w float64) float64 {
+	if p := g.pos.Load(); p != nil {
+		return p
+	}
+	p := g.mapWeights(func(w float64) float64 {
 		if w > 0 {
 			return w
 		}
 		return 0 // non-positive: dropped, like every zero mapWeights result
 	})
+	if g.plain() {
+		g.pos.Store(p)
+	}
+	return p
 }
 
 // WithoutVertices returns the graph with every vertex of S isolated (all its
@@ -433,21 +512,22 @@ func (g *Graph) WithoutVertices(S []int) *Graph {
 			newly = append(newly, v)
 		}
 	}
-	v := &Graph{n: g.n, m: g.m, totalW: g.totalW, off: g.off, nbr: g.nbr, drop: drop, posOnly: g.posOnly}
+	v := &Graph{n: g.n, m: g.m, totalW: g.totalW, off: g.off, nbr: g.nbr,
+		ids: g.ids, ws: g.ws, drop: drop, posOnly: g.posOnly}
 	// Subtract every edge that just became invisible: edges visible in g with
 	// at least one endpoint newly dropped. An edge between two newly dropped
 	// vertices is walked from both rows; the smaller endpoint counts it.
 	for _, u := range newly {
-		for _, nb := range g.row(u) {
-			if g.hides(nb.W) || g.dropped(nb.To) {
-				continue // was not visible in g
+		g.visitRow(u, func(to int, w float64) {
+			if g.hides(w) || g.dropped(to) {
+				return // was not visible in g
 			}
-			if nb.To < u && drop[nb.To] && !g.dropped(nb.To) {
-				continue // both ends newly dropped: counted from nb.To's row
+			if to < u && drop[to] && !g.dropped(to) {
+				return // both ends newly dropped: counted from to's row
 			}
 			v.m--
-			v.totalW -= nb.W
-		}
+			v.totalW -= w
+		})
 	}
 	return v
 }
@@ -480,20 +560,20 @@ func (g *Graph) mapWeights(f func(w float64) float64) *Graph {
 		if g.dropped(u) {
 			continue
 		}
-		for _, nb := range g.row(u) {
-			if !g.visibleTo(nb.To, nb.W) {
-				continue
+		g.visitRow(u, func(to int, bw float64) {
+			if !g.visibleTo(to, bw) {
+				return
 			}
-			w := f(nb.W)
+			w := f(bw)
 			if w == 0 {
-				continue
+				return
 			}
-			nbr = append(nbr, Neighbor{To: nb.To, W: w})
-			if nb.To > u {
+			nbr = append(nbr, Neighbor{To: to, W: w})
+			if to > u {
 				m++
 				tw += w
 			}
-		}
+		})
 	}
 	off[g.n] = len(nbr)
 	return &Graph{n: g.n, m: m, totalW: tw, off: off, nbr: nbr}

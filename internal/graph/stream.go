@@ -101,8 +101,9 @@ func NewMaintainer(expect, obs *Graph, lambda float64) *Maintainer {
 	expect, obs = expect.Compact(), obs.Compact()
 	n := expect.n
 	m := &Maintainer{n: n, lambda: lambda, scale: 1, rows: make([][]streamEntry, n)}
+	erow, orow := expect.rowFn(), obs.rowFn()
 	for u := 0; u < n; u++ {
-		a1, a2 := expect.row(u), obs.row(u)
+		a1, a2 := erow(u), orow(u)
 		if len(a1) == 0 && len(a2) == 0 {
 			continue
 		}

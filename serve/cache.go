@@ -24,7 +24,11 @@ type diffKey struct {
 // and alpha. Graphs are immutable, so a cached *dcs.Graph may be served to
 // any number of concurrent requests; on a miss the build runs outside the
 // lock (two racing requests may both build — both results are identical and
-// the second insert wins harmlessly).
+// the second insert wins harmlessly). A cached GD also carries its compact
+// positive-part view: every affinity-family solver needs GD+ and the graph
+// memoizes the first materialization, so repeated requests against a cached
+// pair share one compact GD+ instead of each rebuilding it — the cache
+// effectively holds the positive-part view, not just the raw difference.
 type diffCache struct {
 	mu      sync.Mutex
 	cap     int

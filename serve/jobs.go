@@ -33,6 +33,10 @@ type job struct {
 	seq    uint64 // monotonic submit order (ids are for clients, seq for sorting)
 	req    DCSRequest
 	g1, g2 *dcs.Graph
+	// unpin releases the snapshot pins taken at submit time (out-of-core
+	// stores: the memory budget cannot unmap a graph a queued or running job
+	// will read). Called exactly once, by finish.
+	unpin  func()
 	r1, r2 SnapshotRef
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -161,9 +165,14 @@ func (reg *jobRegistry) finish(j *job, status string, result *DCSResponse, errMs
 	j.errMsg = errMsg
 	j.mu.Unlock()
 	// Drop every graph reference, including inline request bodies — a
-	// retained job must cost O(1), not pin O(m) edge lists until eviction.
+	// retained job must cost O(1), not pin O(m) edge lists until eviction —
+	// and release the snapshot pins so the memory budget may unmap them.
 	j.g1, j.g2 = nil, nil
 	j.req.Graph1, j.req.Graph2 = nil, nil
+	if j.unpin != nil {
+		j.unpin()
+		j.unpin = nil
+	}
 
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
@@ -296,7 +305,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeHTTPError(w, err)
 			return
 		}
-		g1, g2, r1, r2, err := s.resolvePair(&req)
+		g1, g2, unpin, r1, r2, err := s.resolvePair(&req)
 		if err != nil {
 			writeHTTPError(w, err)
 			return
@@ -304,13 +313,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// Mirror the synchronous path's shutdown behavior: after Close, job
 		// submits are rejected with 503 instead of accepted-then-cancelled.
 		if s.pool.isClosed() {
+			unpin()
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		j := &job{req: req, g1: g1, g2: g2, r1: r1, r2: r2, ctx: ctx, cancel: cancel}
+		j := &job{req: req, g1: g1, g2: g2, unpin: unpin, r1: r1, r2: r2, ctx: ctx, cancel: cancel}
 		if err := s.jobs.add(j, s.cfg.MaxQueue); err != nil {
 			cancel()
+			unpin()
 			writeError(w, http.StatusServiceUnavailable, "%s", err)
 			return
 		}

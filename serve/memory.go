@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	dcs "github.com/dcslib/dcs"
+)
+
+// This file is the out-of-core side of the snapshot store: a durable server
+// (serve.Open) does not keep every snapshot's graph on the heap. Snapshots
+// live on disk in the mmap-friendly v2 binary format and are opened lazily —
+// mapped read-only on first use, served in place, and unmapped again when a
+// configurable memory budget (Config.MemLimit, dcsd -memlimit) is exceeded.
+// The memoryManager below is that budget: a byte-accounted LRU of open graph
+// handles keyed by snapshot identity (name + version, the same identity the
+// diff cache and the tombstone/ABA discipline use), with pin counts so that
+// eviction can never unmap a graph a running solve or job still reads.
+//
+// Lifecycle of a handle:
+//
+//	register    the snapshot's graph file is durable; the id is servable
+//	acquire     open (mmap) on demand, pin, bump LRU recency
+//	release     unpin; a doomed handle closes at pins→0
+//	evict       close the coldest unpinned handles until under budget
+//	invalidate  Delete/replace: the id is gone — close now, or doom it
+//	            until the last pin drains; it can never be reopened
+//
+// Opening runs outside the manager lock (one CRC + validation pass over the
+// file can take a while on big graphs) with a per-handle opening flag, so
+// concurrent acquires of the same snapshot share one open and acquires of
+// other snapshots never stall behind it.
+
+// snapID is a snapshot identity: the name plus its monotonic version. All
+// handle bookkeeping is keyed by it, so a deleted-and-re-created name can
+// never be served from a stale mapping (the version differs).
+type snapID struct {
+	name    string
+	version int
+}
+
+// errSnapshotGone reports an acquire of an invalidated (deleted or replaced)
+// snapshot version. Callers that resolved the snapshot just before can treat
+// it like a concurrent delete: re-resolve or 404.
+var errSnapshotGone = errors.New("serve: snapshot version no longer available")
+
+// graphHandle is one registered snapshot graph file and, when open, its
+// mapping. All fields are guarded by the owning manager's mutex.
+type graphHandle struct {
+	id   snapID
+	path string
+
+	open    *dcs.MappedGraph // non-nil while mapped/loaded
+	bytes   int64            // open.Bytes() at open time
+	pins    int              // live references; eviction skips pins > 0
+	doomed  bool             // invalidated: close at pins→0, never reopen
+	opening bool             // an acquire is opening the file right now
+	opened  bool             // has been open before (re-opens count as remaps)
+	elem    *list.Element    // position in the LRU while open
+}
+
+// memoryManager is the byte-accounted LRU over open snapshot graph handles.
+type memoryManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when an in-flight open finishes
+	limit   int64      // budget over open handle bytes; <= 0 means unlimited
+	handles map[snapID]*graphHandle
+	lru     *list.List // open handles, front = most recently used
+
+	openBytes   int64 // sum of open handle bytes (mapped + shadow)
+	mappedBytes int64 // file-mapping portion of openBytes
+	evictions   uint64
+	remaps      uint64
+}
+
+func newMemoryManager(limit int64) *memoryManager {
+	mm := &memoryManager{
+		limit:   limit,
+		handles: make(map[snapID]*graphHandle),
+		lru:     list.New(),
+	}
+	mm.cond = sync.NewCond(&mm.mu)
+	return mm
+}
+
+// register makes id servable from path. Registering an id twice is a no-op
+// (recovery and a racing Put would be the only source, and they agree on the
+// path: versions are minted once).
+func (mm *memoryManager) register(id snapID, path string) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if _, ok := mm.handles[id]; !ok {
+		mm.handles[id] = &graphHandle{id: id, path: path}
+	}
+}
+
+// acquire returns id's graph, opening (mapping) the file if it is not
+// resident, pinned against eviction until the returned release is called.
+// The release func is idempotent-unsafe: call it exactly once.
+func (mm *memoryManager) acquire(id snapID) (*dcs.Graph, func(), error) {
+	mm.mu.Lock()
+	for {
+		h := mm.handles[id]
+		if h == nil {
+			mm.mu.Unlock()
+			return nil, nil, errSnapshotGone
+		}
+		if h.open != nil {
+			h.pins++
+			mm.lru.MoveToFront(h.elem)
+			mm.mu.Unlock()
+			return h.open.Graph(), func() { mm.release(h) }, nil
+		}
+		if h.opening {
+			// Another acquire is opening this file; share its result.
+			mm.cond.Wait()
+			continue
+		}
+		h.opening = true
+		mm.mu.Unlock()
+
+		m, err := dcs.OpenGraphMapped(h.path)
+
+		mm.mu.Lock()
+		h.opening = false
+		mm.cond.Broadcast()
+		if err != nil {
+			mm.mu.Unlock()
+			return nil, nil, fmt.Errorf("serve: open snapshot %q v%d: %w", id.name, id.version, err)
+		}
+		if mm.handles[id] != h || h.doomed {
+			// Invalidated while we were opening: the mapping must not serve.
+			mm.mu.Unlock()
+			m.Close()
+			return nil, nil, errSnapshotGone
+		}
+		if h.opened {
+			mm.remaps++
+		}
+		h.opened = true
+		h.open = m
+		h.bytes = m.Bytes()
+		mm.openBytes += h.bytes
+		mm.mappedBytes += m.MappedBytes()
+		h.elem = mm.lru.PushFront(h)
+		h.pins++
+		// The budget may now be exceeded; shed the coldest unpinned handles.
+		// The handle just pinned can never be the victim.
+		mm.evictLocked()
+		mm.mu.Unlock()
+		return m.Graph(), func() { mm.release(h) }, nil
+	}
+}
+
+// release drops one pin. The last pin of a doomed handle closes it; an
+// ordinary handle at pins 0 merely becomes evictable, and the budget is
+// re-checked since eviction may have been waiting on this pin.
+func (mm *memoryManager) release(h *graphHandle) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	h.pins--
+	if h.pins == 0 {
+		if h.doomed {
+			mm.closeLocked(h)
+		} else {
+			mm.evictLocked()
+		}
+	}
+}
+
+// invalidate removes id from service: Delete committed, or a Put replaced
+// the version. An unpinned handle closes immediately; a pinned one is doomed
+// — the running solves holding pins keep their (immutable, still-mapped)
+// graph, and the mapping closes when the last pin drains. Either way no new
+// acquire can ever see it again.
+func (mm *memoryManager) invalidate(id snapID) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	h := mm.handles[id]
+	if h == nil {
+		return
+	}
+	delete(mm.handles, id)
+	h.doomed = true // an in-flight open observes this and backs out
+	if h.open != nil && h.pins == 0 {
+		mm.closeLocked(h)
+	}
+}
+
+// closeAll dooms every handle (Server.Close): unpinned ones close now,
+// pinned ones when their jobs finish.
+func (mm *memoryManager) closeAll() {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	for id, h := range mm.handles {
+		delete(mm.handles, id)
+		h.doomed = true
+		if h.open != nil && h.pins == 0 {
+			mm.closeLocked(h)
+		}
+	}
+}
+
+// evictLocked closes cold handles, least recently used first, until open
+// bytes fit the budget. Pinned handles are skipped — eviction never unmaps
+// under a running peel — so a budget smaller than the pinned working set is
+// simply exceeded until pins drain.
+func (mm *memoryManager) evictLocked() {
+	if mm.limit <= 0 {
+		return
+	}
+	for el := mm.lru.Back(); el != nil && mm.openBytes > mm.limit; {
+		prev := el.Prev()
+		h := el.Value.(*graphHandle)
+		if h.pins == 0 {
+			mm.closeLocked(h)
+			mm.evictions++
+		}
+		el = prev
+	}
+}
+
+// closeLocked unmaps h and removes it from the LRU. Caller holds mm.mu and
+// has ensured pins == 0.
+func (mm *memoryManager) closeLocked(h *graphHandle) {
+	if h.open == nil {
+		return
+	}
+	mm.openBytes -= h.bytes
+	mm.mappedBytes -= h.open.MappedBytes()
+	mm.lru.Remove(h.elem)
+	h.elem = nil
+	h.open.Close()
+	h.open = nil
+	h.bytes = 0
+}
+
+// stats reports the manager's counters for /healthz. Heap figures are added
+// by the server (they come from the runtime, not from here).
+func (mm *memoryManager) stats() MemoryStats {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	st := MemoryStats{
+		Enabled:       true,
+		LimitBytes:    max(mm.limit, 0),
+		MappedBytes:   mm.mappedBytes,
+		ShadowBytes:   mm.openBytes - mm.mappedBytes,
+		LazySnapshots: len(mm.handles),
+		OpenSnapshots: mm.lru.Len(),
+		Evictions:     mm.evictions,
+		Remaps:        mm.remaps,
+	}
+	for el := mm.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*graphHandle).pins > 0 {
+			st.PinnedSnapshots++
+		}
+	}
+	return st
+}

@@ -56,9 +56,21 @@ type snapManifest struct {
 	UpdatedAt time.Time `json:"updated_at"`
 	// File is the graph file's base name within snapshots/.
 	File string `json:"file,omitempty"`
+	// Meta caches the graph's headline numbers so boot can register the
+	// snapshot lazily — checksum-verify the file, serve Info from here, and
+	// only map the graph when a request first touches it. Absent on
+	// manifests written before the out-of-core store; those recover eagerly.
+	Meta *snapMeta `json:"meta,omitempty"`
 	// Deleted marks a tombstone: the name is gone but its version counter
 	// must survive restarts.
 	Deleted bool `json:"deleted,omitempty"`
+}
+
+// snapMeta is the snapshot metadata mirrored into the manifest.
+type snapMeta struct {
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	TotalWeight float64 `json:"total_weight"`
 }
 
 type watchManifest struct {
@@ -193,22 +205,29 @@ func (p *persister) countWrite(kind *int, err error) {
 }
 
 // saveSnapshot implements persistHook: graph file first, then the manifest
-// referencing it, then removal of the replaced graph file.
-func (p *persister) saveSnapshot(s *Snapshot) error {
+// referencing it, then removal of the replaced graph file. The graph is
+// written in the v2 (mmap-friendly, uncompressed) binary layout so the store
+// can demote the snapshot and serve it from the mapping; the committed
+// file's path is returned for that registration ("" on a stale delivery).
+// Removing the replaced version's file is safe even while a solve still
+// reads its mapping — an unlinked mapping survives until unmapped.
+func (p *persister) saveSnapshot(s *Snapshot, g *dcs.Graph) (string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.lastSaved[s.Name] >= s.Version {
-		return nil // stale delivery; a newer version is already durable
+		return "", nil // stale delivery; a newer version is already durable
 	}
 	key := fsKey(s.Name)
 	gfile := key + ".v" + strconv.Itoa(s.Version) + ".dcsg"
-	err := writeAtomic(filepath.Join(p.snapDir, gfile), func(w io.Writer) error {
-		return dcs.WriteGraphBinary(w, s.Graph)
+	gpath := filepath.Join(p.snapDir, gfile)
+	err := writeAtomic(gpath, func(w io.Writer) error {
+		return dcs.WriteGraphBinaryV2(w, g, false)
 	})
 	if err == nil {
 		old := p.readManifest(key)
 		err = writeJSONFile(filepath.Join(p.snapDir, key+".json"), snapManifest{
 			Name: s.Name, Version: s.Version, UpdatedAt: s.UpdatedAt, File: gfile,
+			Meta: &snapMeta{N: g.N(), M: g.M(), TotalWeight: g.TotalWeight()},
 		})
 		if err == nil {
 			p.lastSaved[s.Name] = s.Version
@@ -218,7 +237,10 @@ func (p *persister) saveSnapshot(s *Snapshot) error {
 		}
 	}
 	p.countWrite(&p.stats.SnapshotWrites, err)
-	return err
+	if err != nil {
+		return "", err
+	}
+	return gpath, nil
 }
 
 // deleteSnapshot implements persistHook: replace the manifest with a
@@ -317,7 +339,28 @@ func (p *persister) recoverSnapshots(store *Store) {
 		if m.Deleted {
 			continue
 		}
-		g, err := readGraphFileBinary(filepath.Join(p.snapDir, m.File))
+		gpath := filepath.Join(p.snapDir, m.File)
+		if m.Meta != nil && store.mem != nil {
+			// Lazy restore: one streaming checksum pass over the file, no
+			// graph build — boot stays O(metadata) no matter how much graph
+			// data the directory holds. (Structural invariants are verified
+			// when the file is first mapped; a file that passes the checksum
+			// but fails them errors at first use, not at boot.)
+			if err := dcs.VerifyGraphFile(gpath); err != nil {
+				p.noteRestoreError()
+				continue
+			}
+			store.mem.register(snapID{m.Name, m.Version}, gpath)
+			store.Restore(newLazySnapshot(m.Name, m.Version, m.UpdatedAt,
+				m.Meta.N, m.Meta.M, m.Meta.TotalWeight, store.mem))
+			p.statMu.Lock()
+			p.stats.SnapshotsRestored++
+			p.statMu.Unlock()
+			continue
+		}
+		// Pre-metadata manifest: recover eagerly, as before the out-of-core
+		// store. The snapshot stays resident until its next Put.
+		g, err := readGraphFileBinary(gpath)
 		if err != nil {
 			// The commit ordering makes this unreachable for crashes; it
 			// means on-disk corruption after the fact. Boot degraded rather
@@ -325,7 +368,7 @@ func (p *persister) recoverSnapshots(store *Store) {
 			p.noteRestoreError()
 			continue
 		}
-		store.Restore(&Snapshot{Name: m.Name, Version: m.Version, Graph: g, UpdatedAt: m.UpdatedAt})
+		store.Restore(newSnapshot(m.Name, m.Version, g, m.UpdatedAt))
 		p.statMu.Lock()
 		p.stats.SnapshotsRestored++
 		p.statMu.Unlock()

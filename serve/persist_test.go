@@ -30,6 +30,19 @@ func testGraph(weights ...float64) *dcs.Graph {
 	return b.Build()
 }
 
+// snapGraph acquires a snapshot's graph for assertions. The pin is released
+// at test end — plenty, since tests never run a memory budget small enough
+// to need the slot back.
+func snapGraph(t *testing.T, s *Snapshot) *dcs.Graph {
+	t.Helper()
+	g, release, err := s.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire(%s v%d): %v", s.Name, s.Version, err)
+	}
+	t.Cleanup(release)
+	return g
+}
+
 func TestPersistSnapshotSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
 	s := openTest(t, dir)
@@ -46,11 +59,11 @@ func TestPersistSnapshotSurvivesRestart(t *testing.T) {
 		t.Fatalf("restore stats %+v", st)
 	}
 	a, ok := s2.Store().Get("alpha")
-	if !ok || a.Version != 1 || a.Graph.Weight(2, 3) != 1e-300 {
+	if !ok || a.Version != 1 || snapGraph(t, a).Weight(2, 3) != 1e-300 {
 		t.Fatalf("alpha restored wrong: %+v", a)
 	}
 	b, ok := s2.Store().Get("beta")
-	if !ok || b.Version != 2 || b.Graph.N() != 3 || b.Graph.Weight(1, 2) != 9 {
+	if !ok || b.Version != 2 || snapGraph(t, b).N() != 3 || snapGraph(t, b).Weight(1, 2) != 9 {
 		t.Fatalf("beta restored wrong: %+v", b)
 	}
 	// Further puts continue the version sequence.
@@ -98,7 +111,7 @@ func TestPersistCrashDebrisRecovery(t *testing.T) {
 	s2 := openTest(t, dir)
 	defer s2.Close()
 	snap, ok := s2.Store().Get("g")
-	if !ok || snap.Version != 1 || snap.Graph.Weight(0, 1) != 4.5 {
+	if !ok || snap.Version != 1 || snapGraph(t, snap).Weight(0, 1) != 4.5 {
 		t.Fatalf("last committed version not recovered: %+v", snap)
 	}
 	if st := s2.PersistStats(); st.RestoreErrors != 0 {
@@ -156,13 +169,14 @@ func TestPersistStaleDeleteDoesNotClobberRecreation(t *testing.T) {
 	s := openTest(t, dir)
 	s.Store().Put("g", testGraph(1))
 	snap, _ := s.Store().Get("g")
-	s.persist.saveSnapshot(&Snapshot{Name: "g", Version: 2, Graph: testGraph(2), UpdatedAt: snap.UpdatedAt})
+	g2 := testGraph(2)
+	s.persist.saveSnapshot(newSnapshot("g", 2, g2, snap.UpdatedAt), g2)
 	s.persist.deleteSnapshot("g", 1) // stale: v2 is already durable
 
 	s2 := openTest(t, dir)
 	defer s2.Close()
 	got, ok := s2.Store().Get("g")
-	if !ok || got.Version != 2 || got.Graph.Weight(0, 1) != 2 {
+	if !ok || got.Version != 2 || snapGraph(t, got).Weight(0, 1) != 2 {
 		t.Fatalf("stale delete clobbered the re-created snapshot: %v %+v", ok, got)
 	}
 }
@@ -245,7 +259,7 @@ func TestPersistEscapedSnapshotNames(t *testing.T) {
 	s2 := openTest(t, dir)
 	defer s2.Close()
 	snap, ok := s2.Store().Get(name)
-	if !ok || snap.Graph.Weight(0, 1) != 6 {
+	if !ok || snapGraph(t, snap).Weight(0, 1) != 6 {
 		t.Fatalf("escaped name not restored: %v %+v", ok, snap)
 	}
 }

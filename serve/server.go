@@ -78,6 +78,17 @@ type Config struct {
 	// registration. 0 means the evolve package default (32); 1 disables
 	// incremental mining outright.
 	WatchResync int
+	// MemLimit bounds, in bytes, how much memory a durable server (Open)
+	// spends on open snapshot graphs: snapshots are persisted in the
+	// mmap-friendly v2 binary layout, opened lazily, and the coldest
+	// unpinned mappings are unmapped once the sum of open-handle bytes
+	// exceeds this budget (they re-map on demand). Graphs pinned by a
+	// running solve are never unmapped, so the budget may be exceeded
+	// transiently while pins drain. 0 means unlimited (snapshots are still
+	// served lazily from their mappings — the kernel page cache, not the Go
+	// heap, holds the adjacency). Ignored by New, whose snapshots are
+	// resident heap graphs.
+	MemLimit int64
 	// CheckpointInterval is how often a persistent server (see Open) writes
 	// watch-state checkpoints for watches observed since their last one.
 	// Snapshots are mirrored write-through and do not wait for it. Default
@@ -147,6 +158,10 @@ type Server struct {
 	cpStop  chan struct{}
 	cpDone  chan struct{}
 	cpOnce  sync.Once
+
+	// mem is the snapshot memory budget (nil on an in-memory Server): the
+	// byte-accounted LRU of open snapshot mappings, shared with the store.
+	mem *memoryManager
 }
 
 // New returns a ready Server with an empty snapshot registry.
@@ -190,6 +205,11 @@ func Open(cfg Config, dataDir string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The memory budget attaches before recovery so recovered snapshots are
+	// registered lazily (checksum-verified, mapped on first use) instead of
+	// loaded — boot cost is O(metadata), not O(graph bytes).
+	s.mem = newMemoryManager(s.cfg.MemLimit)
+	s.store.mem = s.mem
 	p.recoverSnapshots(s.store)
 	for _, w := range p.recoverWatches(*s.defaultOptions()) {
 		s.watches.restore(w)
@@ -246,6 +266,20 @@ func (s *Server) PersistStats() PersistStats {
 	return s.persist.statsSnapshot()
 }
 
+// MemoryStats reports the snapshot memory budget's counters (mapped bytes,
+// open/pinned snapshots, evictions) plus the runtime's in-use heap; Enabled
+// is false on an in-memory Server. The same numbers are served on /healthz.
+func (s *Server) MemoryStats() MemoryStats {
+	var st MemoryStats
+	if s.mem != nil {
+		st = s.mem.stats()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapInUseBytes = ms.HeapInuse
+	return st
+}
+
 // Close shuts the mining machinery down: requests waiting for a pool slot
 // are rejected with 503, and every queued or running async job is cancelled
 // (running solvers stop at their next checkpoint and record a cancelled
@@ -259,6 +293,11 @@ func (s *Server) Close() {
 		s.cpOnce.Do(func() { close(s.cpStop) })
 		<-s.cpDone
 		s.persist.flush()
+	}
+	if s.mem != nil {
+		// Unmap every unpinned snapshot; mappings pinned by still-draining
+		// jobs close when their last pin releases.
+		s.mem.closeAll()
 	}
 }
 
@@ -341,6 +380,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:        s.jobs.stats(),
 		Watches:     s.watches.stats(),
 		Persistence: s.PersistStats(),
+		Memory:      s.MemoryStats(),
 	})
 }
 
@@ -415,45 +455,64 @@ func (s *Server) handleSnapshotByName(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolve turns one side of a request (snapshot name or inline graph) into a
-// graph plus the reference echoed in the response.
-func (s *Server) resolve(side, name string, inline *GraphJSON) (*dcs.Graph, SnapshotRef, error) {
+// graph plus the reference echoed in the response. The release func pins the
+// snapshot's mapping (out-of-core stores) until the caller is done reading
+// the graph; it is a no-op for inline and resident graphs. Call it exactly
+// once; resolve never returns a nil release alongside a nil error.
+func (s *Server) resolve(side, name string, inline *GraphJSON) (*dcs.Graph, func(), SnapshotRef, error) {
 	switch {
 	case name != "" && inline != nil:
-		return nil, SnapshotRef{}, badRequest("%s: give a snapshot name or an inline graph, not both", side)
+		return nil, nil, SnapshotRef{}, badRequest("%s: give a snapshot name or an inline graph, not both", side)
 	case name != "":
 		snap, ok := s.store.Get(name)
 		if !ok {
-			return nil, SnapshotRef{}, badRequest("%s: unknown snapshot %q", side, name)
+			return nil, nil, SnapshotRef{}, badRequest("%s: unknown snapshot %q", side, name)
 		}
-		return snap.Graph, SnapshotRef{Name: snap.Name, Version: snap.Version}, nil
+		g, release, err := snap.Acquire()
+		if errors.Is(err, errSnapshotGone) {
+			// A delete (or replace) landed between Get and Acquire; to the
+			// client that ordering is simply "the snapshot was gone".
+			return nil, nil, SnapshotRef{}, badRequest("%s: unknown snapshot %q", side, name)
+		}
+		if err != nil {
+			return nil, nil, SnapshotRef{}, err
+		}
+		return g, release, SnapshotRef{Name: snap.Name, Version: snap.Version}, nil
 	case inline != nil:
 		if inline.N > s.cfg.MaxVertices {
-			return nil, SnapshotRef{}, badRequest("%s: vertex count %d exceeds the server limit %d", side, inline.N, s.cfg.MaxVertices)
+			return nil, nil, SnapshotRef{}, badRequest("%s: vertex count %d exceeds the server limit %d", side, inline.N, s.cfg.MaxVertices)
 		}
 		g, err := inline.Build()
 		if err != nil {
-			return nil, SnapshotRef{}, badRequest("%s: bad inline graph: %s", side, err)
+			return nil, nil, SnapshotRef{}, badRequest("%s: bad inline graph: %s", side, err)
 		}
-		return g, SnapshotRef{Inline: true}, nil
+		return g, func() {}, SnapshotRef{Inline: true}, nil
 	default:
-		return nil, SnapshotRef{}, badRequest("%s: missing (name a snapshot or inline a graph)", side)
+		return nil, nil, SnapshotRef{}, badRequest("%s: missing (name a snapshot or inline a graph)", side)
 	}
 }
 
-// resolvePair resolves both sides and checks they share a vertex set.
-func (s *Server) resolvePair(req *DCSRequest) (g1, g2 *dcs.Graph, r1, r2 SnapshotRef, err error) {
-	g1, r1, err = s.resolve("g1", req.G1, req.Graph1)
+// resolvePair resolves both sides and checks they share a vertex set. The
+// single release func unpins both sides; the caller must invoke it exactly
+// once, after the last read of either graph (for async jobs: when the job
+// finishes, not when the submit handler returns).
+func (s *Server) resolvePair(req *DCSRequest) (g1, g2 *dcs.Graph, release func(), r1, r2 SnapshotRef, err error) {
+	g1, rel1, r1, err := s.resolve("g1", req.G1, req.Graph1)
 	if err != nil {
-		return
+		return nil, nil, nil, SnapshotRef{}, SnapshotRef{}, err
 	}
-	g2, r2, err = s.resolve("g2", req.G2, req.Graph2)
+	g2, rel2, r2, err := s.resolve("g2", req.G2, req.Graph2)
 	if err != nil {
-		return
+		rel1()
+		return nil, nil, nil, SnapshotRef{}, SnapshotRef{}, err
 	}
 	if g1.N() != g2.N() {
-		err = badRequest("vertex counts differ: g1 has %d, g2 has %d", g1.N(), g2.N())
+		rel1()
+		rel2()
+		return nil, nil, nil, SnapshotRef{}, SnapshotRef{},
+			badRequest("vertex counts differ: g1 has %d, g2 has %d", g1.N(), g2.N())
 	}
-	return
+	return g1, g2, func() { rel1(); rel2() }, r1, r2, nil
 }
 
 // decodeBody decodes a JSON request body, bounded by MaxBodyBytes.
@@ -640,11 +699,12 @@ func (s *Server) handleDCS(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
-	g1, g2, r1, r2, err := s.resolvePair(&req)
+	g1, g2, unpin, r1, r2, err := s.resolvePair(&req)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
+	defer unpin()
 	release, err := s.admit(r)
 	if err != nil {
 		writeHTTPError(w, err)
@@ -691,11 +751,12 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := DCSRequest{G1: name1, G2: name2}
-	g1, g2, r1, r2, err := s.resolvePair(&req)
+	g1, g2, unpin, r1, r2, err := s.resolvePair(&req)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
 	}
+	defer unpin()
 	release, err := s.admit(r)
 	if err != nil {
 		writeHTTPError(w, err)

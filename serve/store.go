@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	dcs "github.com/dcslib/dcs"
@@ -10,22 +11,75 @@ import (
 
 // Snapshot is one registered graph version. Graphs are immutable, so a
 // Snapshot handed out by the store stays valid (and race-free) even after the
-// name is replaced by a newer version.
+// name is replaced by a newer version. The graph itself may or may not be
+// resident: on a durable server it is demoted to its on-disk v2 file once
+// persisted and re-opened (memory-mapped) on demand through the server's
+// memory budget — always address it through Acquire.
 type Snapshot struct {
 	Name      string
 	Version   int
-	Graph     *dcs.Graph
 	UpdatedAt time.Time
+
+	// Graph metadata, valid whether or not the graph is resident, so Info
+	// and the snapshot listing never force a cold snapshot back into memory.
+	n  int
+	m  int
+	tw float64
+
+	// heap is the resident graph; nil once the snapshot has been demoted to
+	// its durable file (it is then served through mem). Atomic because
+	// demotion happens after the snapshot is published to readers.
+	heap atomic.Pointer[dcs.Graph]
+	// mem serves demoted snapshots from disk; nil on an in-memory server,
+	// where heap is never cleared.
+	mem *memoryManager
 }
 
-// Info summarizes the snapshot.
+// newSnapshot wraps a resident graph.
+func newSnapshot(name string, version int, g *dcs.Graph, at time.Time) *Snapshot {
+	s := &Snapshot{Name: name, Version: version, UpdatedAt: at,
+		n: g.N(), m: g.M(), tw: g.TotalWeight()}
+	s.heap.Store(g)
+	return s
+}
+
+// newLazySnapshot describes a graph that lives in a registered (mem) file
+// and is opened on first Acquire — the boot path of a durable server, which
+// verifies file checksums but does not load graphs.
+func newLazySnapshot(name string, version int, at time.Time, n, m int, tw float64, mem *memoryManager) *Snapshot {
+	return &Snapshot{Name: name, Version: version, UpdatedAt: at, n: n, m: m, tw: tw, mem: mem}
+}
+
+// Acquire returns the snapshot's graph plus a release func the caller must
+// invoke exactly once when done reading it. While unreleased the graph is
+// pinned: the memory budget cannot unmap it. On an in-memory server (and for
+// not-yet-demoted snapshots) the graph is resident and release is a no-op;
+// a demoted snapshot is opened (memory-mapped) on demand, and Acquire fails
+// if the version was deleted or its file cannot be opened.
+func (s *Snapshot) Acquire() (*dcs.Graph, func(), error) {
+	if g := s.heap.Load(); g != nil {
+		return g, func() {}, nil
+	}
+	return s.mem.acquire(snapID{s.Name, s.Version})
+}
+
+// demote drops the resident graph in favor of the registered on-disk handle.
+// Called only after the file is durable and the handle registered, so a
+// racing Acquire sees either the heap graph or a servable handle.
+func (s *Snapshot) demote(mem *memoryManager) {
+	s.mem = mem
+	s.heap.Store(nil)
+}
+
+// Info summarizes the snapshot from its cached metadata; it never touches
+// the graph, so listing snapshots keeps cold ones cold.
 func (s *Snapshot) Info() SnapshotInfo {
 	return SnapshotInfo{
 		Name:        s.Name,
 		Version:     s.Version,
-		N:           s.Graph.N(),
-		M:           s.Graph.M(),
-		TotalWeight: s.Graph.TotalWeight(),
+		N:           s.n,
+		M:           s.m,
+		TotalWeight: s.tw,
 		UpdatedAt:   s.UpdatedAt,
 	}
 }
@@ -53,16 +107,22 @@ type Store struct {
 	// path. Restore and SeedVersion — the recovery entry points — do NOT
 	// fire it: recovery must not rewrite what it just read.
 	persist persistHook
+	// mem, when set (durable servers), is the memory budget: snapshots are
+	// demoted to their durable file after each successful Put mirror, and
+	// Delete/replace invalidate the dead version's handle so a stale mapping
+	// can never serve a re-created name.
+	mem *memoryManager
 }
 
 // persistHook receives store mutations for write-through mirroring. Errors
 // propagate to Put/Delete so a caller is never told a write is durable when
 // the disk refused it.
 type persistHook interface {
-	// saveSnapshot durably records s; stale calls (a version older than the
-	// newest one saved for the name) are discarded by the implementation,
-	// so out-of-order delivery from concurrent Puts is harmless.
-	saveSnapshot(s *Snapshot) error
+	// saveSnapshot durably records s (whose graph is g) and returns the path
+	// of the committed graph file; stale calls (a version older than the
+	// newest one saved for the name) are discarded by the implementation and
+	// return "", so out-of-order delivery from concurrent Puts is harmless.
+	saveSnapshot(s *Snapshot, g *dcs.Graph) (path string, err error)
 	// deleteSnapshot durably records that name is gone while retaining its
 	// version counter (lastVersion), so a re-created name continues the
 	// monotonic sequence even across a restart.
@@ -83,16 +143,20 @@ func NewStore() *Store {
 // The error is always nil on an in-memory store. On a durable store
 // (serve.Open) it reports a failed write-through mirror: the in-memory
 // registry IS updated — readers see the new version — but the disk does
-// not have it, so a restart would serve the previous one.
+// not have it, so a restart would serve the previous one. After a
+// successful mirror the snapshot is demoted: its heap graph is dropped and
+// later reads memory-map the durable file under the server's budget.
 func (st *Store) Put(name string, g *dcs.Graph) (SnapshotInfo, error) {
 	st.mu.Lock()
 	version := st.lastVersion[name] + 1
 	st.lastVersion[name] = version
-	s := &Snapshot{Name: name, Version: version, Graph: g, UpdatedAt: time.Now()}
+	prev := st.snaps[name]
+	s := newSnapshot(name, version, g, time.Now())
 	st.snaps[name] = s
 	info := s.Info()
 	onReplace := st.onReplace
 	persist := st.persist
+	mem := st.mem
 	st.mu.Unlock()
 	// Outside the lock: the hook takes the cache lock, which itself reads the
 	// store (cache.mu → store.mu); calling under store.mu would invert that
@@ -100,7 +164,17 @@ func (st *Store) Put(name string, g *dcs.Graph) (SnapshotInfo, error) {
 	// is what the cache's put-veto protocol relies on.
 	var perr error
 	if persist != nil {
-		perr = persist.saveSnapshot(s)
+		var path string
+		path, perr = persist.saveSnapshot(s, g)
+		if perr == nil && path != "" && mem != nil {
+			mem.register(snapID{name, version}, path)
+			s.demote(mem)
+		}
+	}
+	if mem != nil && prev != nil {
+		// The replaced version can never be resolved again; drop (or doom)
+		// its mapping so replacement frees memory as reliably as Delete.
+		mem.invalidate(snapID{prev.Name, prev.Version})
 	}
 	if version > 1 && onReplace != nil {
 		onReplace(name)
@@ -110,27 +184,34 @@ func (st *Store) Put(name string, g *dcs.Graph) (SnapshotInfo, error) {
 
 // Delete removes the named snapshot, reporting whether it was registered.
 // Readers that already resolved the snapshot keep computing against it (the
-// graph is immutable); the onReplace hook fires so its cached difference
-// graphs are purged rather than pinned until LRU eviction — the same
-// commit-then-purge ordering as Put, so the cache's put-veto protocol holds
-// (snapshotCurrent is false the moment the delete commits). The name's
-// version counter is retained, so a later re-creation continues the version
+// graph is immutable, and pinned mappings survive until released); the
+// onReplace hook fires so its cached difference graphs are purged rather
+// than pinned until LRU eviction — the same commit-then-purge ordering as
+// Put, so the cache's put-veto protocol holds (snapshotCurrent is false the
+// moment the delete commits). The deleted version's mapped handle is
+// invalidated by identity, so a later re-creation of the name (which mints a
+// fresh version) can never be served from the stale mapping. The name's
+// version counter is retained, so a re-creation continues the version
 // sequence instead of minting a second "version 1" with different edges.
 // The error mirrors Put's: a durable store failed to record the deletion on
 // disk (the in-memory removal stands; a restart would resurrect the name).
 func (st *Store) Delete(name string) (bool, error) {
 	st.mu.Lock()
-	_, ok := st.snaps[name]
+	prev, ok := st.snaps[name]
 	if ok {
 		delete(st.snaps, name)
 	}
 	lastVersion := st.lastVersion[name]
 	onReplace := st.onReplace
 	persist := st.persist
+	mem := st.mem
 	st.mu.Unlock()
 	var perr error
 	if ok && persist != nil {
 		perr = persist.deleteSnapshot(name, lastVersion)
+	}
+	if ok && mem != nil {
+		mem.invalidate(snapID{prev.Name, prev.Version})
 	}
 	if ok && onReplace != nil {
 		onReplace(name)

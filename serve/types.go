@@ -380,6 +380,38 @@ type PersistStats struct {
 	WriteErrors int `json:"write_errors"`
 }
 
+// MemoryStats summarizes the snapshot memory budget for /healthz. On an
+// in-memory server (serve.New) only the heap figure is live and Enabled is
+// false — there are no snapshot mappings to account.
+type MemoryStats struct {
+	// Enabled reports whether the out-of-core snapshot store is active
+	// (serve.Open): snapshots served from lazily opened, evictable mappings.
+	Enabled bool `json:"enabled"`
+	// LimitBytes is the configured budget over open snapshot bytes
+	// (Config.MemLimit, dcsd -memlimit); 0 means unlimited.
+	LimitBytes int64 `json:"limit_bytes,omitempty"`
+	// HeapInUseBytes is the Go runtime's in-use heap (spans holding live
+	// objects) — the process side of the memory story; mapped snapshot
+	// bytes live outside it.
+	HeapInUseBytes uint64 `json:"heap_in_use_bytes"`
+	// MappedBytes is the total size of open snapshot file mappings.
+	MappedBytes int64 `json:"mapped_bytes"`
+	// ShadowBytes counts heap bytes held by open snapshots beyond their
+	// mapping: resident offset indexes, decoded compressed sections, and
+	// whole graphs on platforms that cannot map.
+	ShadowBytes int64 `json:"shadow_bytes"`
+	// LazySnapshots counts registered on-disk snapshot versions (open or
+	// not); OpenSnapshots the ones currently mapped; PinnedSnapshots the
+	// open ones a running solve or job holds (eviction skips them).
+	LazySnapshots   int `json:"lazy_snapshots"`
+	OpenSnapshots   int `json:"open_snapshots"`
+	PinnedSnapshots int `json:"pinned_snapshots"`
+	// Evictions counts mappings closed under memory pressure; Remaps counts
+	// re-opens of previously evicted snapshots (cold-start opens are neither).
+	Evictions uint64 `json:"evictions"`
+	Remaps    uint64 `json:"remaps"`
+}
+
 // HealthResponse is the body returned by GET /healthz.
 type HealthResponse struct {
 	Status    string  `json:"status"`
@@ -395,6 +427,9 @@ type HealthResponse struct {
 	Watches WatchStats `json:"watches"`
 	// Persistence reports the durability layer's counters (serve.Open).
 	Persistence PersistStats `json:"persistence"`
+	// Memory reports the snapshot memory budget: heap in use, mapped bytes,
+	// open/pinned snapshot counts, eviction and re-map counters.
+	Memory MemoryStats `json:"memory"`
 }
 
 // ErrorResponse carries any non-2xx body.
