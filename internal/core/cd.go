@@ -19,7 +19,9 @@ type cdState struct {
 	dx map[int]float64 // (Dx)_u for u ∈ S
 }
 
-func newCDState(g *graph.Graph, x *simplex.Vector, S []int) *cdState {
+// An interrupted build leaves later dx entries unset; the descend loop polls
+// the same State first and unwinds before reading them.
+func newCDState(g *graph.Graph, x *simplex.Vector, S []int, rs *runstate.State) *cdState {
 	st := &cdState{
 		g:  g,
 		x:  x,
@@ -31,6 +33,9 @@ func newCDState(g *graph.Graph, x *simplex.Vector, S []int) *cdState {
 		st.in[u] = true
 	}
 	for _, u := range S {
+		if rs.Checkpoint() {
+			break
+		}
 		var s float64
 		for _, nb := range g.Neighbors(u) {
 			s += nb.W * x.Get(nb.To)
@@ -160,6 +165,6 @@ func coordinateDescent(g *graph.Graph, x *simplex.Vector, S []int, eps float64, 
 	if len(S) <= 1 {
 		return 0
 	}
-	st := newCDState(g.Compact(), x, S)
+	st := newCDState(g.Compact(), x, S, rs)
 	return st.descend(eps, maxIter, rs)
 }

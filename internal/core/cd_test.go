@@ -29,7 +29,7 @@ func TestStepMatchesDenseScan(t *testing.T) {
 			return true
 		}
 		x.Normalize()
-		st := newCDState(g, x, S)
+		st := newCDState(g, x, S, runstate.New(nil))
 		i, j := S[rng.Intn(len(S))], S[rng.Intn(len(S))]
 		if i == j {
 			return true
@@ -79,7 +79,7 @@ func TestCDStateBookkeeping(t *testing.T) {
 			return true
 		}
 		x.Normalize()
-		st := newCDState(g, x, S)
+		st := newCDState(g, x, S, runstate.New(nil))
 		for iter := 0; iter < 30; iter++ {
 			i, j, _, ok := st.pick()
 			if !ok {
@@ -105,7 +105,7 @@ func TestPickExtremes(t *testing.T) {
 	g := randomSignedGraph(rng, 8, 0.7, 5)
 	S := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	x := simplex.Uniform(8, S)
-	st := newCDState(g, x, S)
+	st := newCDState(g, x, S, runstate.New(nil))
 	i, j, gap, ok := st.pick()
 	if !ok {
 		t.Fatal("pick must succeed")

@@ -367,7 +367,7 @@ func TestInitBoundsAreValid(t *testing.T) {
 		if gdp.M() == 0 {
 			continue
 		}
-		mu := initBounds(gdp)
+		mu := initBounds(gdp, runstate.New(nil))
 		// Enumerate all positive cliques and their interior optima.
 		for mask := 1; mask < 1<<uint(n); mask++ {
 			var S []int
@@ -441,7 +441,7 @@ func TestExpansionFromExactKKT(t *testing.T) {
 	g := b.Build()
 	x := simplex.Uniform(4, []int{0, 1, 2})
 	before := simplex.Affinity(g, x)
-	res := expand(g, x, 1e-9)
+	res := expand(g, x, 1e-9, runstate.New(nil))
 	if !res.expanded {
 		t.Fatal("expansion must trigger (vertex 3 improves)")
 	}
@@ -464,7 +464,7 @@ func TestExpandNoCandidates(t *testing.T) {
 	// Uniform on a maximum clique of the whole graph: no vertex improves.
 	g := graph.Complete(4, 1)
 	x := simplex.Uniform(4, []int{0, 1, 2, 3})
-	res := expand(g, x, 1e-9)
+	res := expand(g, x, 1e-9, runstate.New(nil))
 	if res.expanded {
 		t.Fatal("no expansion candidates should exist at the global optimum")
 	}

@@ -48,11 +48,16 @@ func newGAResult(gd *graph.Graph, x *simplex.Vector, st GAStats) GAResult {
 // and wu upper-bounds the maximum edge weight in u's ego net. By Theorem 6,
 // µu bounds xᵀDx for any clique embedding of GD+ whose support contains u.
 // Total cost O(|ED+|).
-func initBounds(gdp *graph.Graph) []float64 {
+// An interrupted run leaves the unvisited entries at 0, so they sort last
+// and newSEARS's µu ≤ bestF cutoff stops immediately.
+func initBounds(gdp *graph.Graph, rs *runstate.State) []float64 {
 	n := gdp.N()
 	// mw[v] = max weight incident to v.
 	mw := make([]float64, n)
 	for v := 0; v < n; v++ {
+		if rs.Checkpoint() {
+			break
+		}
 		gdp.VisitNeighbors(v, func(_ int, w float64) {
 			if w > mw[v] {
 				mw[v] = w
@@ -61,9 +66,12 @@ func initBounds(gdp *graph.Graph) []float64 {
 	}
 	// wu = max over the ego net Tu = {u} ∪ N(u) of incident max-weights:
 	// every edge with an endpoint in Tu contributes to some mw[v], v ∈ Tu.
-	tau := cores.Numbers(gdp)
+	tau := cores.NumbersRS(gdp, rs)
 	mu := make([]float64, n)
 	for u := 0; u < n; u++ {
+		if rs.Checkpoint() {
+			break
+		}
 		wu := mw[u]
 		gdp.VisitNeighbors(u, func(v int, _ float64) {
 			if mw[v] > wu {
@@ -126,7 +134,7 @@ func newSEARS(gd *graph.Graph, opt GAOptions, rs *runstate.State) GAResult {
 		// No positive edge: the optimum of Eq. 6 is 0 on a single vertex.
 		return newGAResult(gd, best, stats)
 	}
-	mu := initBounds(gdp)
+	mu := initBounds(gdp, rs)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -394,6 +402,9 @@ func collectCliquesRS(gd *graph.Graph, opt GAOptions, rs *runstate.State) ([]Cli
 	seen := make(map[string]bool)
 	var out []Clique
 	for _, r := range results {
+		if rs.Checkpoint() {
+			break // cancelled mid-harvest: keep the cliques already vetted
+		}
 		if r.x == nil {
 			continue // initialization skipped after cancellation
 		}
@@ -416,7 +427,7 @@ func collectCliquesRS(gd *graph.Graph, opt GAOptions, rs *runstate.State) ([]Cli
 		seen[key] = true
 		out = append(out, Clique{S: S, Affinity: simplex.Affinity(gdp, r.x), X: r.x})
 	}
-	out = removeSubsets(out)
+	out = removeSubsets(out, rs)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Affinity != out[j].Affinity {
 			return out[i].Affinity > out[j].Affinity
@@ -428,6 +439,7 @@ func collectCliquesRS(gd *graph.Graph, opt GAOptions, rs *runstate.State) ([]Cli
 
 func supportKey(S []int) string {
 	buf := make([]byte, 0, 8*len(S))
+	//lint:allow loopcheck -- digit extraction over a support set: ≤ 20 iterations per vertex id, not graph-scale
 	for _, v := range S {
 		for v > 0 {
 			buf = append(buf, byte('0'+v%10))
@@ -438,13 +450,16 @@ func supportKey(S []int) string {
 	return string(buf)
 }
 
-func removeSubsets(cs []Clique) []Clique {
+func removeSubsets(cs []Clique, rs *runstate.State) []Clique {
 	// Sort by size descending; keep a clique only if it is not a subset of an
 	// already-kept one.
 	sort.Slice(cs, func(i, j int) bool { return len(cs[i].S) > len(cs[j].S) })
 	var kept []Clique
 	var keptSets []map[int]bool
 	for _, c := range cs {
+		if rs.Checkpoint() {
+			break // kept so far are all maximal among those examined
+		}
 		sub := false
 		for _, ks := range keptSets {
 			all := true

@@ -95,6 +95,7 @@ func pruneTiny(gdp *graph.Graph, x *simplex.Vector, opt GAOptions, rs *runstate.
 // edge between them in gdp, preferring pairs involving the weakest-connected
 // vertex so refinement tends to peel marginal vertices first.
 func firstNonAdjacentPair(gdp *graph.Graph, S []int) (u, v int, ok bool) {
+	//lint:allow loopcheck -- support-sized O(|S|²) scan between Refine's per-round checkpoints; |S| is a clique candidate, not graph-scale
 	for i := 0; i < len(S); i++ {
 		for j := i + 1; j < len(S); j++ {
 			if gdp.Weight(S[i], S[j]) == 0 {

@@ -164,7 +164,7 @@ type expandResult struct {
 // *decrease* — exactly the "errors in Expansion" that Section V-C and
 // Table VII report for SEA+Refine. kktTol must be the precision the shrink
 // stage actually guarantees.
-func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
+func expand(g *graph.Graph, x *simplex.Vector, kktTol float64, rs *runstate.State) expandResult {
 	f := simplex.Affinity(g, x)
 	// (Dx)_i for every vertex touching the support, plus the support itself.
 	acc := make(map[int]float64)
@@ -198,6 +198,11 @@ func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
 	}
 	var omega float64
 	for _, i := range zs {
+		if rs.Checkpoint() {
+			// Bail before any mutation of x: the caller sees "not expanded"
+			// and unwinds with the current (valid) KKT-point embedding.
+			return expandResult{}
+		}
 		g.VisitNeighbors(i, func(v int, w float64) {
 			if gj, ok := gamma[v]; ok {
 				omega += gamma[i] * gj * w
@@ -241,9 +246,8 @@ func expand(g *graph.Graph, x *simplex.Vector, kktTol float64) expandResult {
 // expand by Z, and repeat until Z is empty. kktTol maps the working-set size
 // to the gradient precision the shrink stage guarantees; the expansion uses
 // it to decide membership in Z. It mutates x and returns per-init statistics.
-// Cancellation (rs) stops the loop between rounds and inside the shrink
-// stage; the expansion itself is one bounded O(support+boundary) operation
-// and never needs an internal checkpoint.
+// Cancellation (rs) stops the loop between rounds, inside the shrink stage,
+// and inside the expansion's boundary sweep (which bails before mutating x).
 func seaLoop(g *graph.Graph, x *simplex.Vector, shrink shrinkFunc, kktTol func(sz int) float64, opt GAOptions, rs *runstate.State) GAStats {
 	var st GAStats
 	for round := 0; round < opt.MaxRounds; round++ {
@@ -255,7 +259,7 @@ func seaLoop(g *graph.Graph, x *simplex.Vector, shrink shrinkFunc, kktTol func(s
 		if rs.Interrupted() {
 			break // shrink stopped mid-descent: skip the unsafe expansion
 		}
-		res := expand(g, x, kktTol(len(S)))
+		res := expand(g, x, kktTol(len(S)), rs)
 		if res.expanded {
 			st.Expansions++
 			if res.errored {

@@ -106,8 +106,8 @@ func topKGraphAffinityRS(gd *graph.Graph, k int, opt GAOptions, rs *runstate.Sta
 	taken := make(map[int]bool)
 	var out []Clique
 	for _, c := range cliques {
-		if len(out) >= k {
-			break
+		if len(out) >= k || rs.Checkpoint() {
+			break // greedy selection: any prefix is a valid disjoint top-k'
 		}
 		overlap := false
 		for _, v := range c.S {

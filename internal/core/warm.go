@@ -5,6 +5,7 @@ import (
 
 	"github.com/dcslib/dcs/internal/densest"
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 	"github.com/dcslib/dcs/internal/simplex"
 )
 
@@ -23,7 +24,7 @@ func DCSGreedyWarmCtx(ctx context.Context, gd *graph.Graph, prior []int) (res AD
 	if len(prior) == 0 {
 		return res, false
 	}
-	imp := densest.LocalImprove(gd, prior, 0)
+	imp := densest.LocalImproveRS(gd, prior, 0, runstate.New(ctx))
 	if len(imp.S) == 0 || imp.Density <= res.Density {
 		return res, false
 	}

@@ -9,11 +9,22 @@
 // Batagelj–Zaveršnik, which the paper cites through [22].
 package cores
 
-import "github.com/dcslib/dcs/internal/graph"
+import (
+	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
+)
 
 // Numbers returns the core number τ(u) of every vertex of g. Edge weights are
 // ignored; only the topology matters.
 func Numbers(g *graph.Graph) []int {
+	return NumbersRS(g, runstate.New(nil))
+}
+
+// NumbersRS is Numbers with cooperative cancellation. An interrupted peel
+// returns the in-progress array: every entry is an upper bound on the true
+// core number (peeling only ever decreases values), so callers using τ for
+// pruning bounds stay sound on a cancelled run.
+func NumbersRS(g *graph.Graph, rs *runstate.State) []int {
 	n := g.N()
 	deg := make([]int, n)
 	maxDeg := 0
@@ -50,6 +61,9 @@ func Numbers(g *graph.Graph) []int {
 	core := make([]int, n)
 	copy(core, deg)
 	for i := 0; i < n; i++ {
+		if rs.Checkpoint() {
+			break // partial peel: remaining entries are valid upper bounds
+		}
 		v := vert[i]
 		g.VisitNeighbors(v, func(u int, _ float64) {
 			if core[u] > core[v] {

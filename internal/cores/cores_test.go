@@ -1,11 +1,13 @@
 package cores
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 func TestTriangleWithTail(t *testing.T) {
@@ -153,6 +155,43 @@ func TestCoreBoundsPlantedClique(t *testing.T) {
 			if core[v]+1 < k {
 				t.Fatalf("core[%d]+1 = %d < planted clique size %d", v, core[v]+1, k)
 			}
+		}
+	}
+}
+
+func TestNumbersRSCancelled(t *testing.T) {
+	// A pre-cancelled State stops the peel at the first checkpoint. The
+	// partial array must still be a sound upper bound on every core number —
+	// that is the contract NewSEA's µu pruning relies on.
+	b := graph.NewBuilder(7)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 6, 1)
+	g := b.Build()
+	exact := Numbers(g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part := NumbersRS(g, runstate.New(ctx))
+	if len(part) != g.N() {
+		t.Fatalf("partial core numbers have length %d, want %d", len(part), g.N())
+	}
+	for v := range part {
+		if part[v] < exact[v] {
+			t.Errorf("partial core[%d] = %d < exact %d: interrupted peel must stay an upper bound", v, part[v], exact[v])
+		}
+	}
+
+	// A live (uncancelled) State changes nothing.
+	live := NumbersRS(g, runstate.New(context.Background()))
+	for v := range live {
+		if live[v] != exact[v] {
+			t.Fatalf("NumbersRS with live state: core[%d] = %d, want %d", v, live[v], exact[v])
 		}
 	}
 }

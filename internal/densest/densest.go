@@ -90,7 +90,12 @@ func GreedyParRS(g *graph.Graph, rs *runstate.State, workers int) Result {
 		return Result{}
 	}
 	workers = par.Workers(workers)
-	comps, loc := componentLists(g)
+	comps, loc := componentLists(g, rs)
+	if comps == nil {
+		// Cancelled during component discovery: fall back to the degenerate
+		// single-vertex answer of Algorithm 2 (density 0), never empty.
+		return Result{S: []int{0}}
+	}
 	peels := make([]compPeel, len(comps))
 	if workers <= 1 || len(comps) < 2 {
 		// Inline: rs is used directly, preserving its amortization counter and
@@ -116,7 +121,7 @@ func GreedyParRS(g *graph.Graph, rs *runstate.State, workers int) Result {
 			}
 		}
 	}
-	return mergePeels(n, peels)
+	return mergePeels(n, peels, rs)
 }
 
 // compPeel is one component's recorded peel: the removal order (global ids),
@@ -133,8 +138,9 @@ type compPeel struct {
 // singleton components) into connected components. Component lists are in
 // ascending vertex order and components are ordered by smallest member; loc
 // maps each vertex to its index within its component — both facts the peel
-// and merge rely on for deterministic tie-breaking.
-func componentLists(g *graph.Graph) (comps [][]int, loc []int32) {
+// and merge rely on for deterministic tie-breaking. A run cancelled mid-BFS
+// returns (nil, nil): a partial partition would mis-route the peel.
+func componentLists(g *graph.Graph, rs *runstate.State) (comps [][]int, loc []int32) {
 	n := g.N()
 	cid := make([]int32, n)
 	for i := range cid {
@@ -143,6 +149,9 @@ func componentLists(g *graph.Graph) (comps [][]int, loc []int32) {
 	var stack []int
 	nc := int32(0)
 	for v := 0; v < n; v++ {
+		if rs.Checkpoint() {
+			return nil, nil
+		}
 		if cid[v] >= 0 {
 			continue
 		}
@@ -217,7 +226,9 @@ func peelComponent(g *graph.Graph, verts []int, loc []int32, rs *runstate.State)
 // mergePeels replays the global peel from the per-component records: a k-way
 // merge by (pop-time degree, vertex id) — the global heap's priority — while
 // tracking W(S) and the best prefix density exactly as the classic loop did.
-func mergePeels(n int, peels []compPeel) Result {
+// Cancellation stops the replay and keeps the best prefix evaluated so far —
+// the same contract as a peel cut short.
+func mergePeels(n int, peels []compPeel, rs *runstate.State) Result {
 	// W(S) in the paper convention is the sum of in-subgraph weighted degrees;
 	// summed in component order, deterministically at every degree.
 	var totalDeg float64
@@ -235,6 +246,7 @@ func mergePeels(n int, peels []compPeel) Result {
 		return peels[a].order[cur[a]] < peels[b].order[cur[b]]
 	}
 	siftDown := func(i int) {
+		//lint:allow loopcheck -- heap sift: O(log #components) hops, not graph-scale
 		for {
 			l, r := 2*i+1, 2*i+2
 			small := i
@@ -252,6 +264,7 @@ func mergePeels(n int, peels []compPeel) Result {
 		}
 	}
 	siftUp := func(i int) {
+		//lint:allow loopcheck -- heap sift: O(log #components) hops, not graph-scale
 		for i > 0 {
 			p := (i - 1) / 2
 			if !less(heap[i], heap[p]) {
@@ -282,6 +295,9 @@ func mergePeels(n int, peels []compPeel) Result {
 		}
 		if len(heap) == 0 {
 			break // cancelled peels exhausted; keep the best evaluated prefix
+		}
+		if rs.Checkpoint() {
+			break // after ≥1 evaluation, so bestSize is set and the keep slice is consistent
 		}
 		c := heap[0]
 		v, dv := peels[c].order[cur[c]], peels[c].popDeg[cur[c]]
@@ -405,6 +421,7 @@ func BruteForce(g *graph.Graph) Result {
 		panic("densest: BruteForce limited to n ≤ 24")
 	}
 	best := Result{Density: math.Inf(-1)}
+	//lint:allow loopcheck -- test-only oracle, hard-capped at n ≤ 24 subsets above
 	for mask := 1; mask < 1<<uint(n); mask++ {
 		var S []int
 		for v := 0; v < n; v++ {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 // defaultImproveRounds bounds LocalImprove's steepest-ascent loop when the
@@ -24,6 +25,14 @@ const defaultImproveRounds = 32
 // locally, a handful of rounds re-tracks the optimum without a full peel.
 // Each round costs O(vol(S) + |N(S)|). An empty seed returns an empty result.
 func LocalImprove(g *graph.Graph, seed []int, maxRounds int) Result {
+	return LocalImproveRS(g, seed, maxRounds, runstate.New(nil))
+}
+
+// LocalImproveRS is LocalImprove with cooperative cancellation: an
+// interrupted search stops between moves and returns the current set — every
+// prefix of moves is a valid subgraph whose density is evaluated from
+// scratch on return.
+func LocalImproveRS(g *graph.Graph, seed []int, maxRounds int, rs *runstate.State) Result {
 	if len(seed) == 0 {
 		return Result{}
 	}
@@ -45,10 +54,16 @@ func LocalImprove(g *graph.Graph, seed []int, maxRounds int) Result {
 	// moves: adding/removing u shifts conn of u's neighbors only.
 	conn := make([]float64, n)
 	for _, u := range S {
+		if rs.Checkpoint() {
+			break // round loop below polls the same latched State and exits
+		}
 		g.VisitNeighbors(u, func(v int, wt float64) { conn[v] += wt })
 	}
 
 	for round := 0; round < maxRounds; round++ {
+		if rs.Checkpoint() {
+			break // current S is valid; density recomputed from scratch below
+		}
 		rho := w / float64(len(S))
 		bestRho := rho
 		bestV, bestAdd := -1, false

@@ -74,6 +74,9 @@ func scanRS(gd *graph.Graph, opt Options, rs *runstate.State) Result {
 	// mirroring EgoScan's prioritization of promising ego nets.
 	posDeg := make([]float64, n)
 	for v := 0; v < n; v++ {
+		if rs.Checkpoint() {
+			break // unseen seeds keep degree 0, sort last, and are skipped below
+		}
 		gd.VisitNeighbors(v, func(_ int, w float64) {
 			if w > 0 {
 				posDeg[v] += w

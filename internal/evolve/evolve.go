@@ -154,21 +154,21 @@ type Tracker struct {
 	mu sync.Mutex
 	// expect/last hold the materialized state while no maintainer is
 	// live (snapshot mode); both are nil while mt owns the state.
-	expect *graph.Graph
-	last   *graph.Graph
-	mt     *graph.Maintainer
-	step   int
+	expect *graph.Graph      // guarded by mu
+	last   *graph.Graph      // guarded by mu
+	mt     *graph.Maintainer // guarded by mu
+	step   int               // guarded by mu
 	// prevS is the previous completed solve's full answer (the solver's
 	// best set even when below the reporting threshold) — the warm-start
 	// seed. Nil when there is no trustworthy prior: fresh or restored
 	// trackers, and after an interrupted solve.
-	prevS         []int
-	prevAnomalous bool
-	sinceScratch  int
-	stats         TickStats
+	prevS         []int     // guarded by mu
+	prevAnomalous bool      // guarded by mu
+	sinceScratch  int       // guarded by mu
+	stats         TickStats // guarded by mu
 	// regionMark is warmRegion's reusable membership buffer, touched only
 	// while obsMu is held (ticks are serialized); always all-false between
-	// ticks. Lazily sized to n on the first incremental tick.
+	// ticks. Lazily sized to n on the first incremental tick. guarded by obsMu.
 	regionMark []bool
 }
 

@@ -1,0 +1,4 @@
+package lint
+
+// All is the suite cmd/dcsvet composes, in reporting order.
+var All = []*Analyzer{Loopcheck, Backedwrite, Floatdet, Guardedby}

@@ -1,0 +1,284 @@
+// Analyzer backedwrite: CSR storage obtained from internal/graph must
+// never be written outside internal/graph.
+//
+// The aliasing contract (PR 8): a Graph may be "backed" — its offsets, ids
+// and weights arrays aliasing a read-only mmap of a .dcsg v2 file — and
+// Graph.CSR on a plain graph returns the graph's live storage, shared by
+// every concurrent request. A write through either is, at best, silent
+// cross-request corruption and, on a mapped snapshot, a SIGSEGV.
+//
+// The analysis is an intraprocedural taint pass over each function outside
+// internal/graph:
+//
+//   - Sources: the results of a Graph.CSR call, and — from the call site
+//     onward — the slice arguments handed to graph.FromCSRBacked (the
+//     caller transferred ownership; later writes invalidate the verified
+//     invariants and may target a mapping).
+//   - Propagation: aliasing assignments (y := x, y = x, y := x[i:j]).
+//   - Sinks: element stores (x[i] = …, x[i].W = …, x[i]++), copy with a
+//     tainted destination, append to a tainted slice (in-place when
+//     len < cap), taking the address of an element, and handing a tainted
+//     slice to the sort/slices packages (in-place reordering).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var Backedwrite = &Analyzer{
+	Name: "backedwrite",
+	Doc:  "CSR storage from internal/graph (Graph.CSR results, FromCSRBacked inputs) must not be written outside internal/graph",
+	Run:  runBackedwrite,
+}
+
+func runBackedwrite(pass *Pass) error {
+	if isGraphPackage(pass.Pkg.Path()) {
+		return nil // the owning package manages its own storage
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBackedWrites(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// taintSet maps a slice variable to the position its contents became
+// graph-owned; only uses at or after that position are violations.
+type taintSet map[types.Object]token.Pos
+
+func checkBackedWrites(pass *Pass, fd *ast.FuncDecl) {
+	taint := taintSet{}
+
+	// Pass 1: seeds. CSR() results are tainted from the assignment;
+	// FromCSRBacked arguments are tainted from the call onward.
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isCSRCall(pass, call) {
+					for _, lhs := range n.Lhs {
+						if obj := assignedObj(pass, lhs); obj != nil && isSliceObj(obj) {
+							taint[obj] = n.Pos()
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isFromCSRBackedCall(pass, n) {
+				for _, arg := range n.Args {
+					if obj := rootObj(pass, arg); obj != nil && isSliceObj(obj) {
+						if _, ok := taint[obj]; !ok {
+							taint[obj] = n.End()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(taint) == 0 {
+		return
+	}
+
+	// Pass 2: propagate through aliasing assignments to a fixpoint. The
+	// alias inherits the source's taint position, so pre-handoff writes
+	// through a pre-handoff alias stay legal.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(node ast.Node) bool {
+			n, ok := node.(*ast.AssignStmt)
+			if !ok || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				src := rootObj(pass, rhs)
+				if src == nil {
+					continue
+				}
+				pos, tainted := taint[src]
+				if !tainted || !isSliceExpr(pass, rhs) {
+					continue
+				}
+				if dst := assignedObj(pass, n.Lhs[i]); dst != nil && isSliceObj(dst) {
+					if _, ok := taint[dst]; !ok {
+						taint[dst] = pos
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	tainted := func(e ast.Expr) bool {
+		obj := rootObj(pass, e)
+		if obj == nil {
+			return false
+		}
+		pos, ok := taint[obj]
+		return ok && e.Pos() >= pos
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s: this slice aliases graph CSR storage, which may be a read-only mmap; writes outside internal/graph are a SIGSEGV or silent cross-request corruption", what)
+	}
+
+	// Pass 3: sinks.
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isElementExpr(lhs) && tainted(lhs) {
+					report(lhs.Pos(), "write to backed CSR storage")
+				}
+			}
+		case *ast.IncDecStmt:
+			if isElementExpr(n.X) && tainted(n.X) {
+				report(n.X.Pos(), "write to backed CSR storage")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isElementExpr(n.X) && tainted(n.X) {
+				report(n.Pos(), "address of backed CSR element escapes")
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if len(n.Args) > 0 && tainted(n.Args[0]) {
+					switch fun.Name {
+					case "copy":
+						report(n.Pos(), "copy into backed CSR storage")
+					case "append":
+						report(n.Pos(), "append to backed CSR storage (writes in place when len < cap)")
+					case "clear":
+						report(n.Pos(), "clear of backed CSR storage")
+					}
+				}
+			case *ast.SelectorExpr:
+				if pkg := selectorPkg(pass, fun); pkg == "sort" || pkg == "slices" {
+					for _, arg := range n.Args {
+						if tainted(arg) {
+							report(n.Pos(), "in-place "+pkg+"."+fun.Sel.Name+" of backed CSR storage")
+							break
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isCSRCall reports whether call is g.CSR() (or g.Materialize-free raw
+// accessors of the same shape) on the graph package's Graph type.
+func isCSRCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CSR" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && isGraphPackage(fn.Pkg().Path())
+}
+
+func isFromCSRBackedCall(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if id.Name != "FromCSRBacked" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && isGraphPackage(fn.Pkg().Path())
+}
+
+// rootObj strips indexing, slicing, field selection and parens down to the
+// base identifier's object: the storage a write ultimately lands in.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// v[i].W → v; but pkg.Var or s.field roots at the selection.
+			if _, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.Info.Uses[x.X.(*ast.Ident)].(*types.PkgName); isPkg {
+					return pass.Info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func assignedObj(pass *Pass, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// isElementExpr reports whether e writes *through* a slice (x[i], x[i].W,
+// x[i:j]...) rather than rebinding the slice header itself.
+func isElementExpr(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr, *ast.SliceExpr:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+func isSliceObj(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+func isSliceExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func selectorPkg(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name()
+	}
+	return ""
+}

@@ -1,0 +1,268 @@
+// Package lint is the repo's static-analysis suite: four custom analyzers
+// that machine-enforce contracts which are otherwise only guarded by code
+// review. The cmd/dcsvet multichecker composes them; CI runs it as a
+// required step, and a repo-wide clean run is asserted by a meta-test so a
+// regression fails `go test ./...` too.
+//
+// The enforced contracts (see CONTRIBUTING.md for the narrative version):
+//
+//   - loopcheck: every graph-scale solver loop must poll internal/runstate
+//     so cancellation works (PR 3/6). A loop that can iterate Ω(n) times
+//     without a reachable Checkpoint/Cancelled call makes a request
+//     uncancellable for its whole duration.
+//
+//   - backedwrite: backed-CSR storage may alias read-only mmap pages
+//     (PR 8). A write to the arrays returned by Graph.CSR, or to arrays
+//     already handed to graph.FromCSRBacked, outside internal/graph is a
+//     SIGSEGV on a mapped snapshot — or silent cross-request corruption on
+//     a heap one.
+//
+//   - floatdet: solver arithmetic must be order-deterministic because the
+//     parallel and incremental-watch harnesses assert bitwise equivalence
+//     against sequential oracles. Accumulating floats (or selecting an
+//     argmax key) while ranging over a map re-introduces iteration-order
+//     dependence.
+//
+//   - guardedby: `// guarded by <mu>` field comments in serve and
+//     internal/evolve are checked against the (direct) call graph: a field
+//     so annotated may only be touched by functions that lock the named
+//     mutex, or are only called by functions that do.
+//
+// The framework below deliberately mirrors the golang.org/x/tools
+// go/analysis API (Analyzer, Pass, Reportf, an analysistest-style fixture
+// harness in linttest) but is built on the standard library alone, so the
+// module keeps its zero-dependency property and the gate cannot be skipped
+// for want of a network. Loading uses `go list -export` plus the gc
+// export-data importer; see load.go.
+//
+// False positives are suppressed in place with
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// on (or immediately above) the flagged line. The reason is mandatory and
+// machine-enforced: an allow comment without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name diagnostics are attributed to
+// (and that //lint:allow comments reference), one-line documentation, and
+// the function that runs it over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work, carrying the typed syntax
+// of the package under analysis. Report/Reportf append diagnostics; the
+// driver applies //lint:allow filtering afterwards, so analyzers never need
+// to know about suppression.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for editors (path:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Target is one loaded, type-checked package: the unit Analyze consumes.
+// LoadPackages builds Targets for real module packages; linttest builds
+// them for testdata fixtures.
+type Target struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Analyze runs every analyzer over every target and returns the surviving
+// diagnostics sorted by position: //lint:allow-suppressed findings are
+// dropped, and malformed allow comments (missing reason, unknown analyzer
+// name) are reported as diagnostics of the pseudo-analyzer "allow", which
+// cannot itself be suppressed.
+func Analyze(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, t := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     t.Fset,
+				Files:    t.Files,
+				Pkg:      t.Pkg,
+				Info:     t.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, t.PkgPath, err)
+			}
+		}
+	}
+	var allows []allow
+	var policy []Diagnostic
+	for _, t := range targets {
+		a, p := collectAllows(t, analyzers)
+		allows = append(allows, a...)
+		policy = append(policy, p...)
+	}
+	kept := policy
+	for _, d := range diags {
+		if !suppressed(d, allows) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// An allow is one parsed //lint:allow comment: it suppresses diagnostics of
+// the named analyzer on its own line and the line below (so it can trail
+// the flagged statement or sit on its own line above it).
+type allow struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow comment in the target, returning
+// the usable allows and policy diagnostics for malformed ones. The syntax
+// is `//lint:allow <analyzer> -- <reason>`; the reason is mandatory.
+func collectAllows(t *Target, analyzers []*Analyzer) ([]allow, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var allows []allow
+	var policy []Diagnostic
+	for _, f := range t.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := t.Fset.Position(c.Pos())
+				bad := func(format string, args ...any) {
+					policy = append(policy, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //lint:allowance
+				}
+				// The directive ends at an embedded `// want` clause, so the
+				// linttest fixtures can annotate expected diagnostics on the
+				// same line as a (possibly malformed) allow comment.
+				rest, _, _ = strings.Cut(rest, "// want ")
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				if name == "" {
+					bad("lint:allow needs an analyzer name: //lint:allow <analyzer> -- <reason>")
+					continue
+				}
+				if strings.ContainsAny(name, " \t") {
+					bad("lint:allow takes a single analyzer name, got %q", name)
+					continue
+				}
+				if !known[name] {
+					bad("lint:allow references unknown analyzer %q", name)
+					continue
+				}
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad("lint:allow %s is missing its mandatory reason: //lint:allow %s -- <why this is safe>", name, name)
+					continue
+				}
+				allows = append(allows, allow{file: pos.Filename, line: pos.Line, analyzer: name})
+			}
+		}
+	}
+	return allows, policy
+}
+
+func suppressed(d Diagnostic, allows []allow) bool {
+	for _, a := range allows {
+		if a.analyzer == d.Analyzer && a.file == d.Pos.Filename &&
+			(a.line == d.Pos.Line || a.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatch reports whether a package import path is, or ends with, the
+// given suffix — so the analyzers recognize both the real module packages
+// (github.com/dcslib/dcs/internal/core) and testdata fixtures mounted under
+// a fake module prefix (fix.example/internal/core).
+func pathMatch(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// isRunstateState reports whether t is (a pointer to) the runstate.State
+// type, matched structurally by package-path suffix so fixtures can supply
+// their own stub runstate package.
+func isRunstateState(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "State" || obj.Pkg() == nil {
+		return false
+	}
+	return pathMatch(obj.Pkg().Path(), "internal/runstate") || obj.Pkg().Path() == "runstate"
+}
+
+// isGraphPackage reports whether path is the CSR graph package (or a
+// fixture stub of it).
+func isGraphPackage(path string) bool {
+	return pathMatch(path, "internal/graph")
+}

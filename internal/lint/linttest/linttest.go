@@ -1,0 +1,113 @@
+// Package linttest is the fixture harness for the internal/lint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library alone.
+//
+// A fixture is a self-contained module under testdata/ (its go.mod gives it
+// a fake module path such as fix.example, and testdata is invisible to the
+// real module's package walks). Expected findings are written as trailing
+//
+//	// want "regexp" "another regexp"
+//
+// comments on the offending line: Run loads the module with the same loader
+// dcsvet uses, runs the given analyzers, and fails the test on any
+// diagnostic without a matching want (same file and line, message matched
+// by the regexp) or any want left unmatched — so both false positives and
+// false negatives break `go test ./...`.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dcslib/dcs/internal/lint"
+)
+
+// wantRe extracts the expectation list from a `// want ...` comment.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// expectation is one want clause: a regexp anchored to a file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	met  bool
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzers, and
+// checks the diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	targets, err := lint.LoadPackages(dir, nil)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Analyze(targets, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, tg := range targets {
+		for _, f := range tg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := tg.Fset.Position(c.Pos())
+					for _, q := range splitQuoted(t, m[1], pos.String()) {
+						re, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, src: q,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.src)
+		}
+	}
+}
+
+// splitQuoted parses a sequence of space-separated Go string literals.
+func splitQuoted(t *testing.T, s, pos string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: want clause %q is not a sequence of quoted regexps", pos, s)
+		}
+		u, _ := strconv.Unquote(q)
+		out = append(out, u)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,145 @@
+// Package loading for the real module (testdata fixtures use linttest's
+// own loader instead). The approach is the classic driver recipe minus the
+// x/tools dependency: `go list -export -json -deps` yields every package's
+// file list plus a compiled export-data file for its dependencies, the
+// targets are parsed from source, and go/types checks them with the gc
+// export-data importer resolving imports. Everything runs offline — the
+// module has no third-party dependencies, so the export data always comes
+// from the local build cache.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages lists, parses and type-checks the packages matched by
+// patterns (relative to dir, typically the module root), returning one
+// Target per package. Only non-test compiled sources are analyzed: the
+// enforced invariants are contracts of production code, and the analyzers'
+// own behavior is pinned by the linttest fixture suites instead.
+func LoadPackages(dir string, patterns []string) ([]*Target, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	pkgs := map[string]*listPkg{}
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: it caches packages, so diamond dependencies
+	// are materialized once and type identity holds within (and across)
+	// every Check below.
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := pkgs[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var targets []*Target
+	for _, p := range order {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		t, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// mapImporter applies a package's ImportMap (vendoring/test-variant
+// indirection) before delegating to the shared gc importer.
+type mapImporter struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+func (mi mapImporter) Import(path string) (*types.Package, error) {
+	if actual, ok := mi.m[path]; ok {
+		path = actual
+	}
+	return mi.imp.Import(path)
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, p *listPkg) (*Target, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: mapImporter{imp: imp, m: p.ImportMap}}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Target{PkgPath: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on; linttest
+// uses it too so fixtures are checked with the same fidelity.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

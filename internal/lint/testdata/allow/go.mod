@@ -1,0 +1,3 @@
+module allow.example
+
+go 1.24

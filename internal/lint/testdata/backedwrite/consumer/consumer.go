@@ -1,0 +1,69 @@
+// Fixture for the backedwrite analyzer: a package outside internal/graph
+// handling CSR storage.
+package consumer
+
+import (
+	"sort"
+
+	"backed.example/internal/graph"
+)
+
+// Direct element writes through CSR() results are the core violation.
+func writeElements(g *graph.Graph) {
+	off, nbr := g.CSR()
+	off[0] = 1    // want "write to backed CSR storage"
+	nbr[0].W = 2  // want "write to backed CSR storage"
+	nbr[1].To = 3 // want "write to backed CSR storage"
+	off[0]++      // want "write to backed CSR storage"
+}
+
+// Taint flows through aliasing assignments, including subslices.
+func writeThroughAlias(g *graph.Graph) {
+	off, _ := g.CSR()
+	alias := off
+	alias[0] = 1 // want "write to backed CSR storage"
+	tail := off[1:]
+	tail[0] = 2 // want "write to backed CSR storage"
+}
+
+// In-place mutating calls are sinks too.
+func mutatingCalls(g *graph.Graph, extra []int) {
+	off, nbr := g.CSR()
+	copy(off, extra)        // want "copy into backed CSR storage"
+	_ = append(nbr, nbr[0]) // want "append to backed CSR storage"
+	clear(off)              // want "clear of backed CSR storage"
+	sort.Ints(off)          // want "in-place sort.Ints of backed CSR storage"
+	sort.Slice(nbr, nil)    // want "in-place sort.Slice of backed CSR storage"
+	_ = &off[0]             // want "address of backed CSR element escapes"
+}
+
+// FromCSRBacked transfers ownership at the call: writes before it are the
+// caller legitimately building the arrays; writes after it are violations.
+func handoff(off []int, nbr []graph.Neighbor) *graph.Graph {
+	off[0] = 0 // still ours: the handoff has not happened yet
+	g := graph.FromCSRBacked(off, nbr)
+	off[1] = 1   // want "write to backed CSR storage"
+	nbr[0].W = 2 // want "write to backed CSR storage"
+	return g
+}
+
+// Reading is always fine, and so is copying OUT of the storage.
+func readOnly(g *graph.Graph, dst []int) int {
+	off, nbr := g.CSR()
+	copy(dst, off)
+	s := off[0]
+	for _, nb := range nbr {
+		s += nb.To
+	}
+	return s
+}
+
+// A fresh local slice is untainted even when built from CSR values.
+func freshCopy(g *graph.Graph) []int {
+	off, _ := g.CSR()
+	mine := make([]int, len(off))
+	copy(mine, off)
+	mine[0] = 99
+	sort.Ints(mine)
+	return mine
+}

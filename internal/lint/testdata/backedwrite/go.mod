@@ -1,0 +1,3 @@
+module backed.example
+
+go 1.24

@@ -1,0 +1,29 @@
+// Package graph is a stub of the real CSR graph package exposing the two
+// ownership-transfer points backedwrite tracks.
+package graph
+
+type Neighbor struct {
+	To int
+	W  float64
+}
+
+type Graph struct {
+	off []int
+	nbr []Neighbor
+}
+
+// CSR returns the graph's live storage (zero-copy on a plain graph, the
+// mmap pages on a backed one).
+func (g *Graph) CSR() ([]int, []Neighbor) { return g.off, g.nbr }
+
+// FromCSRBacked adopts the arrays; the caller must not write them again.
+func FromCSRBacked(off []int, nbr []Neighbor) *Graph {
+	return &Graph{off: off, nbr: nbr}
+}
+
+// The owning package may write its own storage: no finding here.
+func (g *Graph) scale(f float64) {
+	for i := range g.nbr {
+		g.nbr[i].W *= f
+	}
+}

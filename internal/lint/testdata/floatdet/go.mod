@@ -1,0 +1,3 @@
+module float.example
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package other is outside the determinism-contract packages: the same fold
+// that is flagged in internal/core is legal here (e.g. presentation code
+// summing for a log line).
+package other
+
+func fold(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

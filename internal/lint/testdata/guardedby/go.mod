@@ -1,0 +1,3 @@
+module guard.example
+
+go 1.24

@@ -1,0 +1,97 @@
+// Fixture for the guardedby analyzer: `// guarded by <mu>` annotations
+// checked against the direct call graph.
+package serve
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+	name  string         // unannotated: never checked
+}
+
+// Direct lock: clean.
+func (r *registry) get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hits++
+	return r.items[k]
+}
+
+// No lock anywhere: flagged.
+func (r *registry) unlockedRead(k string) int {
+	return r.items[k] // want "field items is guarded by mu"
+}
+
+// The unannotated field is free.
+func (r *registry) title() string { return r.name }
+
+// The fooLocked helper idiom: every direct caller holds mu, so the helper
+// holds it by the fixpoint.
+func (r *registry) sum() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sumLocked()
+}
+
+func (r *registry) resetAndSum() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hits = 0
+	return r.sumLocked()
+}
+
+func (r *registry) sumLocked() int {
+	s := 0
+	for _, v := range r.items {
+		s += v
+	}
+	return s
+}
+
+// A helper with one unlocked caller does NOT inherit the lock.
+func (r *registry) countBoth() int {
+	return r.countItems() + 1
+}
+
+func (r *registry) countItems() int {
+	return len(r.items) // want "field items is guarded by mu"
+}
+
+// A goroutine launched while holding the lock is its own context: the lock
+// is the parent's, not the goroutine's.
+func (r *registry) spawn() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hits++ // clean: the parent context holds mu
+	go func() {
+		r.hits++ // want "field hits is guarded by mu"
+	}()
+}
+
+// A value just built from a composite literal is not shared yet.
+func newRegistry() *registry {
+	r := &registry{items: make(map[string]int)}
+	r.hits = 1
+	return r
+}
+
+// RLock counts for read-side accessors of an RWMutex-guarded struct.
+type snapshotTable struct {
+	mu    sync.RWMutex
+	snaps map[string]int // guarded by mu
+}
+
+func (t *snapshotTable) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.snaps[k]
+}
+
+// An annotation naming a non-lock (or missing) sibling is itself flagged.
+type broken struct {
+	count int // guarded by missing // want "not a sibling field with a Lock method"
+}
+
+func (b *broken) bump() { b.count++ }

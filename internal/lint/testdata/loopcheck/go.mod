@@ -1,0 +1,3 @@
+module loop.example
+
+go 1.24

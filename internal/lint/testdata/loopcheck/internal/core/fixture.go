@@ -1,0 +1,138 @@
+// Fixture for the loopcheck analyzer: every case is one function, positive
+// cases carry a want comment on the offending loop.
+package core
+
+import (
+	"loop.example/internal/graph"
+	"loop.example/internal/runstate"
+)
+
+// Heavy loop (callback iteration per vertex) with a State in scope but no
+// poll: flagged with the "add a checkpoint" message.
+func noPollWithState(g *graph.Graph, rs *runstate.State) float64 {
+	var s float64
+	for v := 0; v < g.N(); v++ { // want "graph-scale loop without a reachable runstate checkpoint"
+		g.VisitNeighbors(v, func(_ int, w float64) { s += w })
+	}
+	_ = rs
+	return s
+}
+
+// Same loop with no State anywhere in the function: flagged with the
+// "thread a State through" message instead.
+func noStateInScope(g *graph.Graph) float64 {
+	var s float64
+	for v := 0; v < g.N(); v++ { // want "no .runstate.State in scope"
+		g.VisitNeighbors(v, func(_ int, w float64) { s += w })
+	}
+	return s
+}
+
+// A per-iteration Checkpoint clears the loop and everything nested in it.
+func polledLoop(g *graph.Graph, rs *runstate.State) float64 {
+	var s float64
+	for v := 0; v < g.N(); v++ {
+		if rs.Checkpoint() {
+			break
+		}
+		g.VisitNeighbors(v, func(_ int, w float64) { s += w })
+	}
+	return s
+}
+
+// Cancelled also counts as a poll.
+func cancelledPoll(g *graph.Graph, rs *runstate.State) {
+	for v := 0; v < g.N(); v++ {
+		if rs.Cancelled() {
+			break
+		}
+		g.VisitNeighbors(v, func(int, float64) {})
+	}
+}
+
+// Passing the State to a callee transfers polling responsibility.
+func delegatesState(g *graph.Graph, rs *runstate.State) {
+	for v := 0; v < g.N(); v++ {
+		visitRS(g, v, rs)
+	}
+}
+
+func visitRS(g *graph.Graph, v int, rs *runstate.State) {
+	if rs.Checkpoint() {
+		return
+	}
+	g.VisitNeighbors(v, func(int, float64) {})
+}
+
+// A same-package callee that checkpoints (without receiving the State in
+// this call) clears the loop via the package fixpoint.
+func callsCheckpointingHelper(g *graph.Graph, rs *runstate.State) {
+	h := helper{rs: rs}
+	for v := 0; v < g.N(); v++ {
+		h.tick(g, v)
+	}
+}
+
+type helper struct{ rs *runstate.State }
+
+func (h helper) tick(g *graph.Graph, v int) {
+	if h.rs.Checkpoint() {
+		return
+	}
+	g.VisitNeighbors(v, func(int, float64) {})
+}
+
+// A loop calling a same-package function that loops is heavy even without a
+// callback literal at the call site.
+func callsLoopingHelper(g *graph.Graph, xs []float64) float64 {
+	var s float64
+	for i := range xs { // want "no .runstate.State in scope"
+		s += sumAll(g, i)
+	}
+	return s
+}
+
+func sumAll(g *graph.Graph, v int) float64 {
+	var s float64
+	for _, nb := range g.Neighbors(v) {
+		s += nb.W
+	}
+	return s
+}
+
+// Condition-only convergence loops are heavy by definition.
+func convergence(x float64, rs *runstate.State) float64 {
+	for x > 1e-9 { // want "graph-scale loop without a reachable runstate checkpoint"
+		x = x * 0.5
+	}
+	_ = rs
+	return x
+}
+
+// Small constant bounds are not graph-scale, even nested.
+func constBound(g *graph.Graph) float64 {
+	var s float64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			s += float64(i * j)
+		}
+	}
+	return s
+}
+
+// Channel drains are producer-paced, not graph-paced.
+func drain(ch chan int, g *graph.Graph) {
+	for v := range ch {
+		g.VisitNeighbors(v, func(int, float64) {})
+	}
+}
+
+// A light body over a slice (no nested loop, no callback, no looping
+// callee) is not heavy.
+func lightBody(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

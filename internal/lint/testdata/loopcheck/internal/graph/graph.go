@@ -1,0 +1,19 @@
+// Package graph is a minimal stub of the real CSR graph package.
+package graph
+
+type Neighbor struct {
+	To int
+	W  float64
+}
+
+type Graph struct{ nbr [][]Neighbor }
+
+func (g *Graph) N() int { return len(g.nbr) }
+
+func (g *Graph) Neighbors(u int) []Neighbor { return g.nbr[u] }
+
+func (g *Graph) VisitNeighbors(u int, f func(v int, w float64)) {
+	for _, nb := range g.nbr[u] {
+		f(nb.To, nb.W)
+	}
+}

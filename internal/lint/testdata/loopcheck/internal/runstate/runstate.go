@@ -1,0 +1,12 @@
+// Package runstate is a stub of the real internal/runstate: the analyzers
+// match the State type by package-path suffix, so this fixture copy stands
+// in for the real one.
+package runstate
+
+type State struct{ interrupted bool }
+
+func New() *State { return &State{} }
+
+func (s *State) Checkpoint() bool { return s.interrupted }
+
+func (s *State) Cancelled() bool { return s.interrupted }

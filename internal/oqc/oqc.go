@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 // Result is an α-quasi-clique candidate.
@@ -30,6 +31,13 @@ type Result struct {
 // Each move strictly increases f_α, so termination is guaranteed; maxMoves
 // (≤ 0 means 4n) caps pathological cases.
 func LocalSearch(g *graph.Graph, alpha float64, seed, maxMoves int) Result {
+	return LocalSearchRS(g, alpha, seed, maxMoves, runstate.New(nil))
+}
+
+// LocalSearchRS is LocalSearch with cooperative cancellation: an interrupted
+// climb stops between moves and returns the current (always valid) set, whose
+// surplus is at least the seed's.
+func LocalSearchRS(g *graph.Graph, alpha float64, seed, maxMoves int, rs *runstate.State) Result {
 	n := g.N()
 	if maxMoves <= 0 {
 		maxMoves = 4 * n
@@ -47,6 +55,9 @@ func LocalSearch(g *graph.Graph, alpha float64, seed, maxMoves int) Result {
 		return s
 	}
 	for move := 0; move < maxMoves; move++ {
+		if rs.Checkpoint() {
+			break // hand back the current set: every prefix of moves is valid
+		}
 		// Best addition among the boundary.
 		bestV, bestGain := -1, 0.0
 		cand := map[int]bool{}
@@ -107,6 +118,13 @@ func LocalSearch(g *graph.Graph, alpha float64, seed, maxMoves int) Result {
 // Best runs LocalSearch from the k highest-positive-degree seeds (k ≤ 0
 // means 16) and keeps the largest surplus.
 func Best(g *graph.Graph, alpha float64, k int) Result {
+	return BestRS(g, alpha, k, runstate.New(nil))
+}
+
+// BestRS is Best with cooperative cancellation: an interrupted run returns
+// the best result over the seeds finished so far (Surplus: -1e300 sentinel if
+// none completed).
+func BestRS(g *graph.Graph, alpha float64, k int, rs *runstate.State) Result {
 	n := g.N()
 	if n == 0 {
 		return Result{}
@@ -116,6 +134,9 @@ func Best(g *graph.Graph, alpha float64, k int) Result {
 	}
 	deg := make([]float64, n)
 	for v := 0; v < n; v++ {
+		if rs.Checkpoint() {
+			break // unseen seeds keep degree 0 and sort last; still a valid order
+		}
 		g.VisitNeighbors(v, func(_ int, w float64) {
 			if w > 0 {
 				deg[v] += w
@@ -137,7 +158,10 @@ func Best(g *graph.Graph, alpha float64, k int) Result {
 	}
 	best := Result{Surplus: -1e300}
 	for _, s := range seeds[:k] {
-		if r := LocalSearch(g, alpha, s, 0); r.Surplus > best.Surplus {
+		if rs.Checkpoint() {
+			break // best over the seeds finished so far
+		}
+		if r := LocalSearchRS(g, alpha, s, 0, rs); r.Surplus > best.Surplus {
 			best = r
 		}
 	}

@@ -1,12 +1,14 @@
 package oqc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"github.com/dcslib/dcs/internal/graph"
+	"github.com/dcslib/dcs/internal/runstate"
 )
 
 func TestLocalSearchFindsPlantedClique(t *testing.T) {
@@ -116,5 +118,44 @@ func TestOnSignedDifferenceGraph(t *testing.T) {
 func TestBestEmptyGraph(t *testing.T) {
 	if res := Best(graph.NewBuilder(0).Build(), 0.5, 0); len(res.S) != 0 {
 		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+func TestLocalSearchRSCancelled(t *testing.T) {
+	// A pre-cancelled State stops the climb before the first move: the result
+	// is the seed alone, which is always a valid (if trivial) quasi-clique.
+	g := graph.Complete(6, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := LocalSearchRS(g, 0.9, 2, 0, runstate.New(ctx))
+	if len(res.S) != 1 || res.S[0] != 2 {
+		t.Fatalf("cancelled LocalSearchRS returned S = %v, want just the seed [2]", res.S)
+	}
+
+	// A live State reproduces the uncancelled search exactly.
+	want := LocalSearch(g, 0.9, 2, 0)
+	got := LocalSearchRS(g, 0.9, 2, 0, runstate.New(context.Background()))
+	if len(got.S) != len(want.S) {
+		t.Fatalf("live LocalSearchRS S = %v, want %v", got.S, want.S)
+	}
+	for i := range got.S {
+		if got.S[i] != want.S[i] {
+			t.Fatalf("live LocalSearchRS S = %v, want %v", got.S, want.S)
+		}
+	}
+}
+
+func TestBestRSCancelled(t *testing.T) {
+	// With no seed finished, BestRS hands back the documented sentinel
+	// instead of hanging or fabricating a set.
+	g := graph.Complete(6, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := BestRS(g, 0.9, 4, runstate.New(ctx))
+	if len(res.S) != 0 {
+		t.Fatalf("cancelled BestRS returned S = %v, want no set", res.S)
+	}
+	if res.Surplus > -1e299 {
+		t.Fatalf("cancelled BestRS surplus = %v, want the -1e300 sentinel", res.Surplus)
 	}
 }

@@ -31,11 +31,11 @@ type diffKey struct {
 // effectively holds the positive-part view, not just the raw difference.
 type diffCache struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[diffKey]*list.Element
-	order   *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
+	cap     int                       // immutable after construction
+	entries map[diffKey]*list.Element // guarded by mu
+	order   *list.List                // guarded by mu; front = most recently used
+	hits    uint64                    // guarded by mu
+	misses  uint64                    // guarded by mu
 }
 
 type diffEntry struct {

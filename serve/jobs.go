@@ -42,13 +42,13 @@ type job struct {
 	cancel context.CancelFunc
 
 	mu         sync.Mutex
-	status     string
-	userCancel bool // DELETE (or server shutdown) asked for cancellation
+	status     string // guarded by mu
+	userCancel bool   // guarded by mu; DELETE (or server shutdown) asked for cancellation
 	created    time.Time
-	started    time.Time
-	finished   time.Time
-	result     *DCSResponse
-	errMsg     string
+	started    time.Time    // guarded by mu
+	finished   time.Time    // guarded by mu
+	result     *DCSResponse // guarded by mu
+	errMsg     string       // guarded by mu
 }
 
 // requestCancel marks the job user-cancelled and fires its context. The
@@ -95,15 +95,15 @@ func (j *job) info() JobInfo {
 // poll results; the cumulative counters keep counting evicted jobs.
 type jobRegistry struct {
 	mu       sync.Mutex
-	jobs     map[string]*job
-	finished []string // eviction order, oldest first
+	jobs     map[string]*job // guarded by mu
+	finished []string        // guarded by mu; eviction order, oldest first
 	retain   int
-	nextID   uint64
+	nextID   uint64 // guarded by mu
 	// activeJobs counts queued+running jobs (add increments, finish
 	// decrements), keeping submit-time admission O(1) regardless of how many
-	// finished jobs the retention tail holds.
+	// finished jobs the retention tail holds. guarded by mu.
 	activeJobs int
-	// Cumulative outcome counters, including evicted jobs.
+	// Cumulative outcome counters, including evicted jobs. guarded by mu.
 	done, cancelled, failed int
 }
 
@@ -127,7 +127,6 @@ func (reg *jobRegistry) add(j *job, maxActive int) error {
 	reg.nextID++
 	j.seq = reg.nextID
 	j.id = fmt.Sprintf("job-%d", reg.nextID)
-	j.status = jobQueued
 	j.created = time.Now()
 	reg.jobs[j.id] = j
 	reg.activeJobs++
@@ -318,7 +317,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		j := &job{req: req, g1: g1, g2: g2, unpin: unpin, r1: r1, r2: r2, ctx: ctx, cancel: cancel}
+		j := &job{req: req, g1: g1, g2: g2, unpin: unpin, r1: r1, r2: r2, ctx: ctx, cancel: cancel,
+			status: jobQueued}
 		if err := s.jobs.add(j, s.cfg.MaxQueue); err != nil {
 			cancel()
 			unpin()

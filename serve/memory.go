@@ -64,15 +64,15 @@ type graphHandle struct {
 // memoryManager is the byte-accounted LRU over open snapshot graph handles.
 type memoryManager struct {
 	mu      sync.Mutex
-	cond    *sync.Cond // broadcast when an in-flight open finishes
-	limit   int64      // budget over open handle bytes; <= 0 means unlimited
-	handles map[snapID]*graphHandle
-	lru     *list.List // open handles, front = most recently used
+	cond    *sync.Cond              // broadcast when an in-flight open finishes
+	limit   int64                   // budget over open handle bytes; <= 0 means unlimited
+	handles map[snapID]*graphHandle // guarded by mu
+	lru     *list.List              // guarded by mu; open handles, front = most recently used
 
-	openBytes   int64 // sum of open handle bytes (mapped + shadow)
-	mappedBytes int64 // file-mapping portion of openBytes
-	evictions   uint64
-	remaps      uint64
+	openBytes   int64  // guarded by mu; sum of open handle bytes (mapped + shadow)
+	mappedBytes int64  // guarded by mu; file-mapping portion of openBytes
+	evictions   uint64 // guarded by mu
+	remaps      uint64 // guarded by mu
 }
 
 func newMemoryManager(limit int64) *memoryManager {

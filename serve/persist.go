@@ -105,14 +105,14 @@ type persister struct {
 	mu sync.Mutex
 	// lastSaved is the newest version durably recorded per snapshot name
 	// (tombstones included). Writes carrying an older version are stale
-	// deliveries from concurrent Puts and are discarded.
+	// deliveries from concurrent Puts and are discarded. guarded by mu.
 	lastSaved map[string]int
 	// dirty holds watches with observations newer than their last
 	// checkpoint, under its own small lock: markDirty sits on the observe
 	// hot path and must never wait behind a checkpoint's fsyncs on mu.
 	// Lock order is mu → dirtyMu → the registry's lock (via lookup).
 	dirtyMu sync.Mutex
-	dirty   map[string]*watch
+	dirty   map[string]*watch // guarded by dirtyMu
 	// lookup resolves a name to the registry's CURRENT watch. Checked
 	// before any checkpoint write, dirty-mark or file removal, so neither a
 	// flush of a deleted watch nor the deletion of a name that a new
@@ -121,7 +121,7 @@ type persister struct {
 	lookup func(name string) (*watch, bool)
 
 	statMu sync.Mutex
-	stats  PersistStats
+	stats  PersistStats // guarded by statMu
 }
 
 func openPersister(dir string) (*persister, error) {
@@ -194,15 +194,21 @@ func writeJSONFile(path string, v any) error {
 	})
 }
 
-func (p *persister) countWrite(kind *int, err error) {
+// countWrite bumps the counter kind selects (WriteErrors instead when err is
+// non-nil). kind runs under statMu, so callers never reach into stats
+// without the lock.
+func (p *persister) countWrite(kind func(*PersistStats) *int, err error) {
 	p.statMu.Lock()
 	defer p.statMu.Unlock()
 	if err != nil {
 		p.stats.WriteErrors++
 		return
 	}
-	*kind++
+	*kind(&p.stats)++
 }
+
+func snapshotWrites(s *PersistStats) *int   { return &s.SnapshotWrites }
+func watchCheckpoints(s *PersistStats) *int { return &s.WatchCheckpoints }
 
 // saveSnapshot implements persistHook: graph file first, then the manifest
 // referencing it, then removal of the replaced graph file. The graph is
@@ -236,7 +242,7 @@ func (p *persister) saveSnapshot(s *Snapshot, g *dcs.Graph) (string, error) {
 			}
 		}
 	}
-	p.countWrite(&p.stats.SnapshotWrites, err)
+	p.countWrite(snapshotWrites, err)
 	if err != nil {
 		return "", err
 	}
@@ -269,7 +275,7 @@ func (p *persister) deleteSnapshot(name string, lastVersion int) error {
 			os.Remove(filepath.Join(p.snapDir, old.File))
 		}
 	}
-	p.countWrite(&p.stats.SnapshotWrites, err)
+	p.countWrite(snapshotWrites, err)
 	return err
 }
 
@@ -475,7 +481,7 @@ func (p *persister) checkpointWatch(w *watch) error {
 			}
 		}
 	}
-	p.countWrite(&p.stats.WatchCheckpoints, err)
+	p.countWrite(watchCheckpoints, err)
 	return err
 }
 

@@ -90,7 +90,8 @@ func (s *Snapshot) Info() SnapshotInfo {
 // resolved.
 type Store struct {
 	mu    sync.RWMutex
-	snaps map[string]*Snapshot
+	snaps map[string]*Snapshot // guarded by mu
+	// guarded by mu.
 	// lastVersion remembers the newest version ever assigned to a name and
 	// survives Delete: a name deleted and re-created must NOT restart at
 	// version 1, or the diff cache's (name, version) identity is reused by a

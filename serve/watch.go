@@ -46,17 +46,17 @@ type watch struct {
 	// mu's state except through the short-held mu section at the end of an
 	// observe (obsMu → mu, never the reverse).
 	obsMu   sync.Mutex
-	tracker *evolve.Tracker
+	tracker *evolve.Tracker // guarded by obsMu; see checkpointState for the sanctioned exception
 
 	// mu guards the observation results; held only for O(ring) copies. The
 	// step count is mirrored here so the ring and its step advance under
 	// one lock.
 	mu        sync.Mutex
-	step      int
-	reports   []WatchReport // circular once full; oldest at head
-	head      int           // index of the oldest report when the ring is full
-	anomalies int
-	lastSeen  time.Time
+	step      int           // guarded by mu
+	reports   []WatchReport // guarded by mu; circular once full; oldest at head
+	head      int           // guarded by mu; index of the oldest report when the ring is full
+	anomalies int           // guarded by mu
+	lastSeen  time.Time     // guarded by mu
 }
 
 // checkpointState captures everything a checkpoint persists, without ever
@@ -68,6 +68,7 @@ type watch struct {
 // checkpoint catches it up. The returned manifest carries no file names; the
 // persister fills those in.
 func (w *watch) checkpointState() (watchManifest, *dcs.Graph, *dcs.Graph) {
+	//lint:allow guardedby -- sanctioned lock-free read: CheckpointState is tick-atomic by the tracker's own internal lock, and a checkpoint must not wait behind a long solve holding obsMu (see doc comment)
 	expect, last, step := w.tracker.CheckpointState()
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -126,14 +127,14 @@ func (w *watch) info() WatchInfo {
 // counting deleted watches, mirroring jobRegistry.
 type watchRegistry struct {
 	mu           sync.Mutex
-	watches      map[string]*watch
-	observations int
-	anomalies    int
+	watches      map[string]*watch // guarded by mu
+	observations int               // guarded by mu
+	anomalies    int               // guarded by mu
 	// scratch/incremental split observations by solve path; warmHits counts
 	// incremental ticks won by the improved previous subgraph.
-	scratch     int
-	incremental int
-	warmHits    int
+	scratch     int // guarded by mu
+	incremental int // guarded by mu
+	warmHits    int // guarded by mu
 }
 
 func newWatchRegistry() *watchRegistry {
