@@ -43,7 +43,14 @@
 // the Interrupted field set — still a valid subgraph with exact metrics, just
 // without the completed run's guarantees. The context-free names delegate to
 // context.Background() and never interrupt; the checkpoints then cost under
-// 2% on the solver hot loops.
+// 2% on the solver hot loops. Because that root context can never fire, the
+// non-Ctx wrappers also discard the interruption signal: Interrupted result
+// fields stay false, and wrappers over tuple-returning Ctx variants drop the
+// interrupted flag outright. Callers that need to distinguish a complete
+// solve from a cancelled one must use the *Ctx entry points. Each wrapper
+// carries a function-level `//lint:allow ctxflow` directive — the sanctioned,
+// fact-annotated exception to the library-wide ban on manufacturing
+// contexts (see CONTRIBUTING.md).
 //
 // # Parallelism
 //
@@ -175,6 +182,8 @@ type ContrastClique = core.Clique
 // FindAverageDegreeDCS finds the subgraph maximizing ρ2(S) − ρ1(S) using
 // DCSGreedy on the difference graph G2 − G1. For subgraphs whose density
 // *decreased*, call FindAverageDegreeDCS(g2, g1).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindAverageDegreeDCS(g1, g2 *Graph) AverageDegreeResult {
 	return FindAverageDegreeDCSCtx(context.Background(), g1, g2)
 }
@@ -188,6 +197,8 @@ func FindAverageDegreeDCSCtx(ctx context.Context, g1, g2 *Graph) AverageDegreeRe
 
 // FindAverageDegreeDCSOn runs DCSGreedy directly on a pre-built (signed)
 // difference graph.
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindAverageDegreeDCSOn(gd *Graph) AverageDegreeResult {
 	return FindAverageDegreeDCSOnCtx(context.Background(), gd)
 }
@@ -217,6 +228,8 @@ func FindAverageDegreeDCSOnParCtx(ctx context.Context, gd *Graph, workers int) A
 // NewSEA on the difference graph G2 − G1. The result's support is always a
 // positive clique of GD (every pair inside strengthened its connection from
 // G1 to G2). Pass nil options for the paper's defaults.
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindGraphAffinityDCS(g1, g2 *Graph, opt *Options) GraphAffinityResult {
 	return FindGraphAffinityDCSCtx(context.Background(), g1, g2, opt)
 }
@@ -230,6 +243,8 @@ func FindGraphAffinityDCSCtx(ctx context.Context, g1, g2 *Graph, opt *Options) G
 
 // FindGraphAffinityDCSOn runs NewSEA directly on a pre-built difference
 // graph.
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindGraphAffinityDCSOn(gd *Graph, opt *Options) GraphAffinityResult {
 	return FindGraphAffinityDCSOnCtx(context.Background(), gd, opt)
 }
@@ -249,6 +264,9 @@ func FindGraphAffinityDCSOnCtx(ctx context.Context, gd *Graph, opt *Options) Gra
 // a positive clique, de-duplicates, removes cliques subsumed by larger ones
 // and returns them sorted by decreasing affinity difference. This is the
 // procedure behind the paper's top-k emerging/disappearing topic lists.
+// It drops the Ctx variant's interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopContrastCliques(g1, g2 *Graph, opt *Options) []ContrastClique {
 	cs, _ := TopContrastCliquesCtx(context.Background(), g1, g2, opt)
 	return cs
@@ -262,6 +280,9 @@ func TopContrastCliquesCtx(ctx context.Context, g1, g2 *Graph, opt *Options) (cl
 }
 
 // TopContrastCliquesOn is TopContrastCliques on a pre-built difference graph.
+// It drops the Ctx variant's interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopContrastCliquesOn(gd *Graph, opt *Options) []ContrastClique {
 	cs, _ := TopContrastCliquesOnCtx(context.Background(), gd, opt)
 	return cs
@@ -314,6 +335,8 @@ type RatioContrastResult = core.RatioResult
 // certified by the witness S; it is +Inf when an edge exists only in G2 (the
 // degeneracy that makes the raw density-ratio objective ill-posed,
 // Section III-C).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindMaxRatioContrast(g1, g2 *Graph) RatioContrastResult {
 	return FindMaxRatioContrastCtx(context.Background(), g1, g2)
 }
@@ -344,7 +367,10 @@ func FindMaxRatioContrastParCtx(ctx context.Context, g1, g2 *Graph, workers int)
 // subgraphs under the average-degree measure by iterating DCSGreedy on the
 // difference graph with previously found vertices removed. It extends the
 // paper toward its stated future-work direction of mining multiple
-// subgraphs with large density difference.
+// subgraphs with large density difference. It drops the Ctx variant's
+// interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopKAverageDegreeDCS(g1, g2 *Graph, k int) []AverageDegreeResult {
 	rs, _ := TopKAverageDegreeDCSCtx(context.Background(), g1, g2, k)
 	return rs
@@ -358,7 +384,9 @@ func TopKAverageDegreeDCSCtx(ctx context.Context, g1, g2 *Graph, k int) (results
 }
 
 // TopKAverageDegreeDCSOn is TopKAverageDegreeDCS on a pre-built difference
-// graph.
+// graph. It drops the Ctx variant's interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopKAverageDegreeDCSOn(gd *Graph, k int) []AverageDegreeResult {
 	rs, _ := TopKAverageDegreeDCSOnCtx(context.Background(), gd, k)
 	return rs
@@ -385,7 +413,10 @@ func TopKAverageDegreeDCSOnParCtx(ctx context.Context, gd *Graph, k, workers int
 
 // TopKGraphAffinityDCS mines up to k vertex-disjoint positive cliques with
 // the largest affinity differences (disjoint communities rather than the
-// possibly-overlapping topics of TopContrastCliques).
+// possibly-overlapping topics of TopContrastCliques). It drops the Ctx
+// variant's interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopKGraphAffinityDCS(g1, g2 *Graph, k int, opt *Options) []ContrastClique {
 	cs, _ := TopKGraphAffinityDCSCtx(context.Background(), g1, g2, k, opt)
 	return cs
@@ -399,7 +430,9 @@ func TopKGraphAffinityDCSCtx(ctx context.Context, g1, g2 *Graph, k int, opt *Opt
 }
 
 // TopKGraphAffinityDCSOn is TopKGraphAffinityDCS on a pre-built difference
-// graph.
+// graph. It drops the Ctx variant's interrupted flag (always false here).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func TopKGraphAffinityDCSOn(gd *Graph, k int, opt *Options) []ContrastClique {
 	cs, _ := TopKGraphAffinityDCSOnCtx(context.Background(), gd, k, opt)
 	return cs
@@ -424,6 +457,8 @@ type MaxTotalWeightResult = egoscan.Result
 // related work. Use it when very large contrast subgraphs are wanted
 // (Section VI-E's guidance: graph affinity for small interpretable DCS,
 // average degree for medium, total weight for the largest).
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindMaxTotalWeightSubgraph(g1, g2 *Graph) MaxTotalWeightResult {
 	return FindMaxTotalWeightSubgraphCtx(context.Background(), g1, g2)
 }
@@ -436,6 +471,8 @@ func FindMaxTotalWeightSubgraphCtx(ctx context.Context, g1, g2 *Graph) MaxTotalW
 }
 
 // FindMaxTotalWeightSubgraphOn is the pre-built-difference-graph variant.
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context; discards the interruption signal by contract (see package doc)
 func FindMaxTotalWeightSubgraphOn(gd *Graph) MaxTotalWeightResult {
 	return FindMaxTotalWeightSubgraphOnCtx(context.Background(), gd)
 }

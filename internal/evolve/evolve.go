@@ -330,6 +330,8 @@ func (t *Tracker) finishTickLocked(rep *Report, solved []int, scratch bool) {
 // and then updates the expectation. It returns an error (and leaves the
 // tracker untouched) when the observation's vertex count does not match the
 // tracker's.
+//
+//lint:allow ctxflow -- non-Ctx shim: never-cancelled root context, matching the public dcs wrappers' contract
 func (t *Tracker) Observe(observed *graph.Graph) (Report, error) {
 	return t.ObserveCtx(context.Background(), observed)
 }

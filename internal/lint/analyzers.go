@@ -1,4 +1,7 @@
 package lint
 
-// All is the suite cmd/dcsvet composes, in reporting order.
-var All = []*Analyzer{Loopcheck, Backedwrite, Floatdet, Guardedby}
+// All is the suite cmd/dcsvet composes, in reporting order: the four
+// error-tier invariant checks from the original suite, the three
+// interprocedural analyzers added with driver v2, hotalloc last as the
+// only warn-tier member.
+var All = []*Analyzer{Loopcheck, Backedwrite, Floatdet, Guardedby, Leakcheck, Ctxflow, Hotalloc}

@@ -1,0 +1,123 @@
+// The baseline: a reviewed, committed list of accepted warn-tier findings,
+// so a new warn-severity analyzer can land with its existing findings
+// acknowledged and burned down incrementally instead of blocking the PR
+// that introduces it. Error-tier findings can never be baselined — they are
+// broken invariants, not debt.
+//
+// Entries match on (analyzer, file, message), deliberately omitting line
+// numbers so unrelated edits to a file do not churn the baseline; two
+// identical findings in one file consume two entries. CI enforces that the
+// baseline only ever shrinks (.github/workflows/ci.yml).
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BaselineVersion is the schema version of the baseline file.
+const BaselineVersion = 1
+
+// A Baseline is the decoded baseline file.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// A BaselineEntry matches one accepted finding. File is slash-separated and
+// relative to the module root.
+type BaselineEntry struct {
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Message  string   `json:"message"`
+}
+
+// ReadBaseline loads and validates a baseline file. A missing file is not
+// an error: it yields an empty baseline, so the flag can point at a file
+// that does not exist yet.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: BaselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, BaselineVersion)
+	}
+	for i, e := range b.Findings {
+		if e.Severity == SeverityError {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) is error-tier; error findings cannot be baselined",
+				path, i, e.Analyzer, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// ApplyBaseline splits diags into findings still failing and findings
+// covered by the baseline. Matching is by (analyzer, file-relative-to-root,
+// message); each baseline entry covers one finding, and error-tier findings
+// never match (ReadBaseline rejects error entries anyway).
+func ApplyBaseline(diags []Diagnostic, b *Baseline, root string) (failing, baselined []Diagnostic) {
+	type entryKey struct{ analyzer, file, message string }
+	budget := map[entryKey]int{}
+	for _, e := range b.Findings {
+		budget[entryKey{e.Analyzer, e.File, e.Message}]++
+	}
+	for _, d := range diags {
+		k := entryKey{d.Analyzer, RelFile(d, root), d.Message}
+		if d.Severity != SeverityError && budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, d)
+			continue
+		}
+		failing = append(failing, d)
+	}
+	return failing, baselined
+}
+
+// WriteBaseline serializes the given findings as a fresh baseline file —
+// the `dcsvet -writebaseline` path that creates the reviewed debt list.
+// Error-tier findings are rejected.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	b := Baseline{Version: BaselineVersion}
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			return fmt.Errorf("refusing to baseline error-tier finding: %s", d)
+		}
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: d.Analyzer,
+			Severity: d.Severity,
+			File:     RelFile(d, root),
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// RelFile returns d's file path slash-separated and relative to root when
+// it is inside root, else unchanged — the normalized form used by the
+// baseline and the machine-readable output.
+func RelFile(d Diagnostic, root string) string {
+	file := d.Pos.Filename
+	if root != "" {
+		if abs, err := filepath.Abs(root); err == nil {
+			if rel, err := filepath.Rel(abs, file); err == nil && filepath.IsLocal(rel) {
+				file = rel
+			}
+		}
+	}
+	return filepath.ToSlash(file)
+}

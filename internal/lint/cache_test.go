@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+// TestCacheWarmRunEquivalence: a second Run against the same cache must
+// serve every package from the cache and produce exactly the diagnostics of
+// the cold run — positions, messages, severities, order.
+func TestCacheWarmRunEquivalence(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("opening cache: %v", err)
+	}
+	cold, err := Run("testdata/facts", nil, All, cache)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run against an empty cache reported %d hits", cold.CacheHits)
+	}
+	if len(cold.Diags) == 0 {
+		t.Fatalf("the facts fixture should produce diagnostics (its sink package violates on purpose)")
+	}
+	warm, err := Run("testdata/facts", nil, All, cache)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warm.CacheMisses != 0 {
+		t.Errorf("warm run missed the cache for %d packages", warm.CacheMisses)
+	}
+	if warm.CacheHits == 0 {
+		t.Errorf("warm run reported no cache hits")
+	}
+	if len(warm.Diags) != len(cold.Diags) {
+		t.Fatalf("warm run produced %d diagnostics, cold run %d", len(warm.Diags), len(cold.Diags))
+	}
+	for i := range cold.Diags {
+		c, w := cold.Diags[i], warm.Diags[i]
+		// Compare the observable address and content; the cache schema does
+		// not preserve the position's byte offset.
+		if c.Analyzer != w.Analyzer || c.Severity != w.Severity || c.Message != w.Message ||
+			c.Pos.Filename != w.Pos.Filename || c.Pos.Line != w.Pos.Line || c.Pos.Column != w.Pos.Column {
+			t.Errorf("diagnostic %d differs:\ncold: %v\nwarm: %v", i, c, w)
+		}
+	}
+}

@@ -1,28 +1,40 @@
 package lint_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"github.com/dcslib/dcs/internal/lint"
 )
 
 // TestRepoIsClean runs every analyzer over the whole repository, exactly as
-// `go run ./cmd/dcsvet ./...` does, and fails on any diagnostic. This makes
-// the static-analysis gate part of `go test ./...`: a change cannot pass the
-// test suite while violating a dcsvet invariant.
+// `go run ./cmd/dcsvet ./...` does — same driver entry point, same analysis
+// cache, same baseline — and fails on any failing finding. This makes the
+// static-analysis gate part of `go test ./...`: a change cannot pass the
+// test suite while violating a dcsvet invariant, and a warm cache (shared
+// with `make lint`) keeps the repo-wide run down to seconds.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide analysis is not short")
 	}
-	targets, err := lint.LoadPackages("../..", nil)
+	root := "../.."
+	cache, err := lint.OpenCache("")
 	if err != nil {
-		t.Fatalf("loading repo packages: %v", err)
+		t.Logf("analysis cache unavailable, running cold: %v", err)
+		cache = nil
 	}
-	diags, err := lint.Analyze(targets, lint.All)
+	res, err := lint.Run(root, nil, lint.All, cache)
 	if err != nil {
 		t.Fatalf("analyzing repo: %v", err)
 	}
-	for _, d := range diags {
+	base, err := lint.ReadBaseline(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	failing, baselined := lint.ApplyBaseline(res.Diags, base, root)
+	for _, d := range failing {
 		t.Errorf("dcsvet: %s", d)
 	}
+	t.Logf("dcsvet: %d baselined warn finding(s), cache %d hit(s) / %d miss(es)",
+		len(baselined), res.CacheHits, res.CacheMisses)
 }

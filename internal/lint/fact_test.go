@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFactEncodingBitwiseRoundTrip is the cache-integrity property: the
+// serialized facts of a package decode into a fresh store and re-encode to
+// bitwise-identical bytes, so a dependent package analyzed against cached
+// facts sees exactly what it would have seen in the original run.
+func TestFactEncodingBitwiseRoundTrip(t *testing.T) {
+	cases := []struct {
+		dir string
+		pkg string // a package expected to export at least one fact
+	}{
+		{"testdata/facts", "facts.example/source"},           // backedwrite alias/handoff/writes summaries
+		{"testdata/guardedbyfacts", "gbf.example/state"},     // guardedby field annotations
+		{"testdata/leakcheck", "leak.example/use"},           // leakcheck acquire wrappers
+		{"testdata/ctxflow", "ctxf.example/lib"},             // ctx variants plus a function-level AllowFact
+		{"testdata/ctxflow", "ctxf.example/internal/solver"}, // cross-package ctx variant
+	}
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			targets, err := LoadPackages(tc.dir, nil)
+			if err != nil {
+				t.Fatalf("loading %s: %v", tc.dir, err)
+			}
+			store := newFactStore()
+			for _, tg := range sortTargets(targets) {
+				if _, err := analyzeTarget(tg, All, store); err != nil {
+					t.Fatalf("analyzing %s: %v", tg.PkgPath, err)
+				}
+			}
+			enc1, err := store.encodePackageFacts(tc.pkg)
+			if err != nil {
+				t.Fatalf("encoding: %v", err)
+			}
+			if string(enc1) == "[]" {
+				t.Fatalf("%s exported no facts; the fixture should produce some", tc.pkg)
+			}
+			fresh := newFactStore()
+			if err := fresh.decodePackageFacts(tc.pkg, enc1, All); err != nil {
+				t.Fatalf("decoding: %v", err)
+			}
+			enc2, err := fresh.encodePackageFacts(tc.pkg)
+			if err != nil {
+				t.Fatalf("re-encoding: %v", err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Errorf("facts for %s are not bitwise-stable across a reload:\nfirst:  %s\nsecond: %s", tc.pkg, enc1, enc2)
+			}
+		})
+	}
+}

@@ -43,9 +43,10 @@ var floatdetPkgSuffixes = append([]string{
 }, solverPkgSuffixes...)
 
 var Floatdet = &Analyzer{
-	Name: "floatdet",
-	Doc:  "no order-dependent float accumulation or argmax selection while ranging over a map (bitwise determinism contract)",
-	Run:  runFloatdet,
+	Name:     "floatdet",
+	Doc:      "no order-dependent float accumulation or argmax selection while ranging over a map (bitwise determinism contract)",
+	Severity: SeverityError,
+	Run:      runFloatdet,
 }
 
 func runFloatdet(pass *Pass) error {

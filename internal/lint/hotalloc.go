@@ -1,0 +1,386 @@
+// Analyzer hotalloc (warn tier): no per-iteration heap allocation in
+// graph-scale loops.
+//
+// The solver inner loops run Ω(n) or Ω(m) times per phase; an allocation
+// inside one turns a memory-bandwidth-bound kernel into a GC benchmark.
+// The sanctioned idiom is pooled scratch: buffers allocated once (or grown
+// under a capacity guard) and resliced to [:0] per use — see
+// internal/core's scratch fields. This analyzer flags what defeats it,
+// inside any graph-scale loop (loopcheck's trip-count classification) in
+// the solver packages and internal/graph:
+//
+//   - make, new, and slice/map composite literals — a fresh allocation per
+//     iteration;
+//   - &T{...} composite literals (the pointer escapes the iteration);
+//     plain T{...} struct values are stack-allocated and stay exempt;
+//   - append to a slice declared in the function without capacity evidence
+//     (a 3-arg make, or a make whose length is computed) — growth
+//     reallocates inside the loop; appending to a parameter or field is
+//     not flagged (the caller may have preallocated);
+//   - func literals that are stored — a closure allocation per iteration;
+//     literals passed directly as call arguments (the VisitNeighbors
+//     callback idiom) are exempt, as is an immediate call;
+//   - arguments boxed into interface parameters (fmt in a hot loop), with
+//     sync.Pool.Put exempt — returning scratch to a pool is the idiom
+//     itself.
+//
+// Allocations under a growth guard — an if whose condition tests cap, len
+// or nil — are recognized as the pooled-scratch grow path and not flagged.
+//
+// hotalloc is warn-tier: findings are advisory, and pre-existing ones live
+// in the reviewed baseline (lint.baseline.json) until burned down.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var Hotalloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "no per-iteration heap allocation (make/new/literals/append-growth/closures/boxing) inside graph-scale solver loops",
+	Severity: SeverityWarn,
+	Run:      runHotalloc,
+}
+
+func isHotallocPackage(path string) bool {
+	return isSolverPackage(path) || isGraphPackage(path)
+}
+
+func runHotalloc(pass *Pass) error {
+	if !isHotallocPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	lc := &loopChecker{pass: pass} // reuse loopcheck's trip-count classifier
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ha := &hotallocChecker{pass: pass, lc: lc, capEvidence: sliceCapacityEvidence(pass, fd)}
+			ha.walk(fd.Body, false, false)
+		}
+	}
+	return nil
+}
+
+type hotallocChecker struct {
+	pass *Pass
+	lc   *loopChecker
+	// capEvidence maps slice objects declared in this function to whether
+	// their initialization carried capacity evidence.
+	capEvidence map[types.Object]bool
+}
+
+// walk descends the function body tracking whether the current node is
+// inside a graph-scale loop (hot) and whether it is under a growth guard
+// (an if testing cap/len/nil — the pooled-scratch grow path).
+func (ha *hotallocChecker) walk(n ast.Node, hot, guarded bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == n {
+			return true
+		}
+		if body, gs, ub := ha.lc.loopShape(node); body != nil {
+			nowHot := hot || gs || ub
+			// Visit the loop's non-body parts (cond/post) in the current
+			// state, then the body in the loop's state.
+			switch s := node.(type) {
+			case *ast.RangeStmt:
+				ha.walk(s.X, hot, guarded)
+			case *ast.ForStmt:
+				if s.Init != nil {
+					ha.walk(s.Init, hot, guarded)
+				}
+				if s.Cond != nil {
+					ha.walk(s.Cond, hot, guarded)
+				}
+				if s.Post != nil {
+					ha.walk(s.Post, nowHot, guarded)
+				}
+			}
+			ha.walk(body, nowHot, guarded)
+			return false
+		}
+		if ifs, ok := node.(*ast.IfStmt); ok && isGrowthGuard(ifs.Cond) {
+			if ifs.Init != nil {
+				ha.walk(ifs.Init, hot, guarded)
+			}
+			ha.walk(ifs.Cond, hot, guarded)
+			ha.walk(ifs.Body, hot, true)
+			if ifs.Else != nil {
+				ha.walk(ifs.Else, hot, true)
+			}
+			return false
+		}
+		if !hot {
+			return true
+		}
+		return ha.checkHotNode(node, guarded)
+	})
+}
+
+// checkHotNode inspects one node known to be inside a graph-scale loop.
+// Returns false to stop descending (the node was handled recursively).
+func (ha *hotallocChecker) checkHotNode(node ast.Node, guarded bool) bool {
+	pass := ha.pass
+	switch n := node.(type) {
+	case *ast.CallExpr:
+		if fun, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "panic" {
+				return false // a panic path runs at most once, not per iteration
+			}
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+				switch fun.Name {
+				case "make":
+					if !guarded {
+						pass.Reportf(n.Pos(), "make in a graph-scale loop allocates every iteration: hoist it out, reuse a [:0]-resliced scratch buffer, or grow it under a cap guard")
+					}
+				case "new":
+					if !guarded {
+						pass.Reportf(n.Pos(), "new in a graph-scale loop allocates every iteration: hoist the allocation out of the loop")
+					}
+				case "append":
+					ha.checkAppend(n, guarded)
+				}
+			}
+		}
+		ha.checkBoxing(n)
+	case *ast.CompositeLit:
+		if guarded {
+			return true
+		}
+		t := pass.Info.TypeOf(n)
+		if t == nil {
+			return true
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			pass.Reportf(n.Pos(), "%s literal in a graph-scale loop allocates every iteration: hoist it out of the loop or reuse scratch", kindName(t))
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND && !guarded {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal in a graph-scale loop heap-allocates every iteration: hoist the value out of the loop")
+				return false // don't re-flag the literal itself
+			}
+		}
+	case *ast.AssignStmt:
+		// Func literals are flagged only when stored or returned (below):
+		// one passed straight as a call argument is the sanctioned
+		// VisitNeighbors callback idiom and typically does not escape.
+		for _, rhs := range n.Rhs {
+			if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+				pass.Reportf(lit.Pos(), "closure stored inside a graph-scale loop allocates every iteration: hoist the func literal out of the loop")
+			}
+		}
+	case *ast.ReturnStmt:
+		// A return exits the loop: whatever it allocates (an fmt.Errorf box,
+		// a result slice, even a closure) happens at most once, not per
+		// iteration.
+		return false
+	}
+	return true
+}
+
+// checkAppend flags append to a slice declared in this function without
+// capacity evidence. Appending to parameters, fields, or slices with a
+// capacity-bearing make is amortized by the caller's (or declarer's)
+// preallocation and stays silent.
+func (ha *hotallocChecker) checkAppend(call *ast.CallExpr, guarded bool) {
+	if guarded || len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := ha.pass.Info.Uses[id]
+	if obj == nil {
+		obj = ha.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	hasCap, declaredHere := ha.capEvidence[obj]
+	if declaredHere && !hasCap {
+		ha.pass.Reportf(call.Pos(), "append to %s in a graph-scale loop without capacity evidence: preallocate with make(len, cap) before the loop", id.Name)
+	}
+}
+
+// checkBoxing flags arguments converted to interface parameters — each one
+// is a heap allocation when the concrete value is not pointer-shaped.
+// sync.Pool.Put is exempt: returning scratch to a pool is the idiom this
+// analyzer exists to encourage.
+func (ha *hotallocChecker) checkBoxing(call *ast.CallExpr) {
+	pass := ha.pass
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Put" || sel.Sel.Name == "Get" {
+			if t := pass.Info.TypeOf(sel.X); t != nil && isSyncPool(t) {
+				return
+			}
+		}
+	}
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface: no new box
+		}
+		if basicUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into an interface inside a graph-scale loop: each iteration may heap-allocate the box; move the call out of the loop or use a concrete-typed API")
+	}
+}
+
+func basicUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// isGrowthGuard reports whether cond looks like a pooled-scratch growth
+// check: any mention of cap(...), len(...), or a nil comparison.
+func isGrowthGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sliceCapacityEvidence scans a function for slice variable declarations,
+// recording whether each carried capacity evidence: a 3-arg make, a make
+// whose length argument is non-literal (sized to the data), or a non-empty
+// composite literal of fixed size.
+func sliceCapacityEvidence(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		out[obj] = rhsHasCapacity(pass, rhs)
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					note(id, n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					note(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func rhsHasCapacity(pass *Pass, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false // var x []T
+	}
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return true // a call result: assume the callee sized it
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+			if len(e.Args) >= 3 {
+				return true // make([]T, n, cap)
+			}
+			if len(e.Args) == 2 {
+				// make([]T, n): evidence only when n is not a literal zero.
+				if bl, ok := ast.Unparen(e.Args[1]).(*ast.BasicLit); ok && bl.Value == "0" {
+					return false
+				}
+				return true
+			}
+			return false
+		}
+		return true // other calls: the producer sized it
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0 // []T{...} of fixed size: bounded growth base
+	}
+	return true // aliasing an existing slice: capacity unknown, stay silent
+}

@@ -6,6 +6,11 @@
 // export-data importer resolving imports. Everything runs offline — the
 // module has no third-party dependencies, so the export data always comes
 // from the local build cache.
+//
+// The load is split in two phases so the analysis cache (cache.go) can skip
+// the expensive half: listModule runs `go list` once and returns metadata
+// (file paths, import graph, export-data locations); checkPackage parses
+// and type-checks one package on demand. A cache hit needs only phase one.
 package lint
 
 import (
@@ -31,18 +36,28 @@ type listPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
+	Deps       []string
 	ImportMap  map[string]string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
 }
 
-// LoadPackages lists, parses and type-checks the packages matched by
-// patterns (relative to dir, typically the module root), returning one
-// Target per package. Only non-test compiled sources are analyzed: the
-// enforced invariants are contracts of production code, and the analyzers'
-// own behavior is pinned by the linttest fixture suites instead.
-func LoadPackages(dir string, patterns []string) ([]*Target, error) {
+// moduleList is one `go list` invocation's result: every matched package
+// plus its dependency closure, with a shared importer for type-checking.
+type moduleList struct {
+	pkgs  map[string]*listPkg
+	order []*listPkg // go list output order: dependencies first
+	fset  *token.FileSet
+	imp   types.Importer
+}
+
+// listModule runs `go list -e -export -json -deps` over patterns (relative
+// to dir, typically the module root) and prepares the shared gc importer.
+// The importer caches packages, so diamond dependencies are materialized
+// once and type identity holds within (and across) every checkPackage call.
+func listModule(dir string, patterns []string) (*moduleList, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -56,8 +71,7 @@ func LoadPackages(dir string, patterns []string) ([]*Target, error) {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
-	pkgs := map[string]*listPkg{}
-	var order []*listPkg
+	ml := &moduleList{pkgs: map[string]*listPkg{}, fset: token.NewFileSet()}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		p := new(listPkg)
@@ -66,32 +80,54 @@ func LoadPackages(dir string, patterns []string) ([]*Target, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
-		pkgs[p.ImportPath] = p
-		order = append(order, p)
+		ml.pkgs[p.ImportPath] = p
+		ml.order = append(ml.order, p)
 	}
-
-	fset := token.NewFileSet()
-	// One shared gc importer: it caches packages, so diamond dependencies
-	// are materialized once and type identity holds within (and across)
-	// every Check below.
 	lookup := func(path string) (io.ReadCloser, error) {
-		p, ok := pkgs[path]
+		p, ok := ml.pkgs[path]
 		if !ok || p.Export == "" {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(p.Export)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	ml.imp = importer.ForCompiler(ml.fset, "gc", lookup)
+	return ml, nil
+}
 
-	var targets []*Target
-	for _, p := range order {
+// analysisTargets returns the listed packages that are analysis targets:
+// matched by the patterns (not dependency-only), outside GOROOT, and
+// error-free. Order is preserved from go list (dependencies first).
+func (ml *moduleList) analysisTargets() ([]*listPkg, error) {
+	var out []*listPkg
+	for _, p := range ml.order {
 		if p.DepOnly || p.Standard {
 			continue
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
 		}
-		t, err := checkPackage(fset, imp, p)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadPackages lists, parses and type-checks the packages matched by
+// patterns (relative to dir, typically the module root), returning one
+// Target per package. Only non-test compiled sources are analyzed: the
+// enforced invariants are contracts of production code, and the analyzers'
+// own behavior is pinned by the linttest fixture suites instead.
+func LoadPackages(dir string, patterns []string) ([]*Target, error) {
+	ml, err := listModule(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := ml.analysisTargets()
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Target
+	for _, p := range pkgs {
+		t, err := ml.checkPackage(p)
 		if err != nil {
 			return nil, err
 		}
@@ -114,22 +150,23 @@ func (mi mapImporter) Import(path string) (*types.Package, error) {
 	return mi.imp.Import(path)
 }
 
-func checkPackage(fset *token.FileSet, imp types.Importer, p *listPkg) (*Target, error) {
+// checkPackage parses and type-checks one listed package into a Target.
+func (ml *moduleList) checkPackage(p *listPkg) (*Target, error) {
 	var files []*ast.File
 	for _, name := range p.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(ml.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
 		files = append(files, f)
 	}
 	info := NewInfo()
-	conf := types.Config{Importer: mapImporter{imp: imp, m: p.ImportMap}}
-	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	conf := types.Config{Importer: mapImporter{imp: ml.imp, m: p.ImportMap}}
+	pkg, err := conf.Check(p.ImportPath, ml.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 	}
-	return &Target{PkgPath: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+	return &Target{PkgPath: p.ImportPath, Imports: p.Imports, Fset: ml.fset, Files: files, Pkg: pkg, Info: info}, nil
 }
 
 // NewInfo allocates the types.Info maps the analyzers rely on; linttest

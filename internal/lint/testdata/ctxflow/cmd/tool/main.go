@@ -1,0 +1,10 @@
+// Binary entry points own their root contexts: ctxflow skips cmd packages.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) { _ = ctx }

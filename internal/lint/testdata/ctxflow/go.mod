@@ -1,0 +1,3 @@
+module ctxf.example
+
+go 1.24

@@ -1,0 +1,13 @@
+// Package solver declares a plain/Ctx function pair; the pairing is
+// exported as CtxVariantFact so ctx-bearing callers in other packages are
+// held to it.
+package solver
+
+import "context"
+
+func Solve(n int) int { return n }
+
+func SolveCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

@@ -1,0 +1,77 @@
+// Package lib is library code: manufacturing contexts is banned, and a
+// received ctx must be threaded to every callee with a Ctx variant —
+// including variants known only through an imported fact.
+package lib
+
+import (
+	"context"
+
+	"ctxf.example/internal/solver"
+)
+
+func manufactured(n int) int {
+	_ = context.Background() // want "context.Background\\(\\) in library code"
+	return n
+}
+
+func todo(n int) int {
+	_ = context.TODO() // want "context.TODO\\(\\) in library code"
+	return n
+}
+
+// solver.Solve's Ctx variant is known here only via CtxVariantFact.
+func discards(ctx context.Context, n int) int {
+	return solver.Solve(n) // want "ctx is in scope but Solve discards it"
+}
+
+func threads(ctx context.Context, n int) int {
+	return solver.SolveCtx(ctx, n)
+}
+
+// With no ctx in scope there is nothing to thread.
+func noCtx(n int) int {
+	return solver.Solve(n)
+}
+
+func mine(n int) int { return n }
+
+func mineCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func discardsLocal(ctx context.Context, n int) int {
+	return mine(n) // want "ctx is in scope but mine discards it"
+}
+
+func lower(n int) int { return n }
+
+// A Ctx variant delegating to its own plain sibling is the pairing itself,
+// not a discard.
+func lowerCtx(ctx context.Context, n int) int {
+	poll(ctx)
+	return lower(n)
+}
+
+func poll(ctx context.Context) { _ = ctx }
+
+type Engine struct{}
+
+func (e *Engine) Run(n int) int { return n }
+
+func (e *Engine) RunCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func useEngine(ctx context.Context, e *Engine, n int) int {
+	return e.Run(n) // want "ctx is in scope but Run discards it"
+}
+
+// shim mirrors the public non-Ctx wrappers: the function-level directive
+// suppresses the whole body and exports the documenting AllowFact.
+//
+//lint:allow ctxflow -- fixture shim: never-cancelled root context by contract
+func shim(n int) int {
+	return solver.SolveCtx(context.Background(), n)
+}

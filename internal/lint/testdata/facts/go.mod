@@ -1,0 +1,3 @@
+module facts.example
+
+go 1.24

@@ -1,0 +1,24 @@
+// Package graph is a stub of the real CSR graph package exposing the two
+// ownership-transfer points backedwrite tracks across packages.
+package graph
+
+type Neighbor struct {
+	To int
+	W  float64
+}
+
+type Graph struct {
+	off []int
+	nbr []Neighbor
+}
+
+// CSR returns the graph's live storage.
+func (g *Graph) CSR() ([]int, []Neighbor) { return g.off, g.nbr }
+
+// FromCSRBacked adopts the arrays; the caller must not write them again.
+func FromCSRBacked(off []int, nbr []Neighbor) *Graph {
+	return &Graph{off: off, nbr: nbr}
+}
+
+// Release drops the adopted storage.
+func (g *Graph) Release() { g.off, g.nbr = nil, nil }

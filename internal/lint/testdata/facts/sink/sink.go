@@ -1,0 +1,47 @@
+// Package sink consumes source's facts: every finding here depends on a
+// summary imported from the source package — the acceptance case for
+// cross-package taint.
+package sink
+
+import (
+	"facts.example/internal/graph"
+	"facts.example/source"
+)
+
+// A slice obtained through another package's CSR-aliasing accessor is
+// tainted on arrival.
+func writeViaImportedAlias(g *graph.Graph) {
+	off := source.View(g)
+	off[0] = 1 // want "write to backed CSR storage"
+}
+
+// Multi-result alias facts taint each returned slice independently.
+func writeViaBoth(g *graph.Graph) {
+	off, nbr := source.Both(g)
+	off[0] = 1   // want "write to backed CSR storage"
+	nbr[0].W = 2 // want "write to backed CSR storage"
+}
+
+// Passing tainted storage to a callee that writes through its parameter is
+// a write, even though the store itself happens in the other package.
+func writeViaImportedCallee(g *graph.Graph) {
+	off, _ := g.CSR()
+	source.Fill(off) // want "tainted slice passed to a callee that writes through it"
+}
+
+// A handoff fact transfers ownership exactly like calling FromCSRBacked
+// directly: writes before the call are legal, writes after are not.
+func writeAfterImportedHandoff(off []int, nbr []graph.Neighbor) *graph.Graph {
+	off[0] = 0 // still ours: the handoff has not happened yet
+	g := source.Adopt(off, nbr)
+	off[1] = 1 // want "write to backed CSR storage"
+	return g
+}
+
+// Reading tainted storage and writing an unrelated slice stay clean.
+func cleanUse(g *graph.Graph, dst []int) int {
+	off := source.View(g)
+	copy(dst, off)
+	source.Fill(dst)
+	return off[0]
+}

@@ -1,0 +1,34 @@
+// Package source is the fact-exporting side of the cross-package
+// backedwrite fixture: none of these functions is a violation on its own,
+// but each carries a summary (CSRAliasFact, CSRWritesFact, CSRHandoffFact)
+// that makes misuse in the sink package a finding.
+package source
+
+import "facts.example/internal/graph"
+
+// View returns the graph's live offset array: its result aliases CSR
+// storage (CSRAliasFact), so callers must not write through it.
+func View(g *graph.Graph) []int {
+	off, _ := g.CSR()
+	return off
+}
+
+// Both returns both CSR arrays, exercising multi-result alias facts.
+func Both(g *graph.Graph) ([]int, []graph.Neighbor) {
+	off, nbr := g.CSR()
+	return off, nbr
+}
+
+// Fill writes through its parameter (CSRWritesFact): handing it a tainted
+// slice is a write to backed storage at the call site.
+func Fill(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+}
+
+// Adopt hands its parameters to graph storage (CSRHandoffFact): callers
+// lose ownership of both slices at the call.
+func Adopt(off []int, nbr []graph.Neighbor) *graph.Graph {
+	return graph.FromCSRBacked(off, nbr)
+}

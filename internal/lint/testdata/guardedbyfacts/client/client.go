@@ -1,0 +1,35 @@
+// Package client accesses state.Registry across the package boundary: the
+// guarded-by contract comes from state's exported fact, and the mutex it
+// names is resolved against the imported struct so lock tracking works
+// exactly as it does in the declaring package.
+package client
+
+import "gbf.example/state"
+
+func locked(r *state.Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.Jobs["a"]
+}
+
+func unlocked(r *state.Registry) int {
+	return r.Jobs["a"] // want "field Jobs is guarded by Mu"
+}
+
+// The caller-holds fixpoint crosses the boundary too: peek is only ever
+// called with the imported mutex held.
+func lockedCaller(r *state.Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return peek(r)
+}
+
+func peek(r *state.Registry) int {
+	return r.Jobs["x"]
+}
+
+// A value this function just built is not shared yet.
+func fresh() int {
+	r := &state.Registry{Jobs: map[string]int{"a": 1}}
+	return r.Jobs["a"]
+}

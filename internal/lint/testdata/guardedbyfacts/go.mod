@@ -1,0 +1,3 @@
+module gbf.example
+
+go 1.24

@@ -1,0 +1,10 @@
+// Package state declares the annotated struct; the annotation is exported
+// as a GuardedByFact so consuming packages are held to it too.
+package state
+
+import "sync"
+
+type Registry struct {
+	Mu   sync.Mutex
+	Jobs map[string]int // guarded by Mu
+}

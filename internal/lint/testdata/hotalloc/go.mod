@@ -1,0 +1,3 @@
+module hot.example
+
+go 1.24

@@ -1,0 +1,136 @@
+// Package core exercises hotalloc: per-iteration allocation inside
+// graph-scale loops is flagged; the pooled-scratch idiom, callback
+// literals, capacity-evidenced appends, and loop-exiting paths stay clean.
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+type pair struct{ a, b int }
+
+func perIterationAllocs(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		buf := make([]int, 8) // want "make in a graph-scale loop"
+		p := new(pair)        // want "new in a graph-scale loop"
+		s := []int{x}         // want "slice literal in a graph-scale loop"
+		m := map[int]bool{}   // want "map literal in a graph-scale loop"
+		q := &pair{a: x}      // want "&composite literal in a graph-scale loop"
+		total += buf[0] + p.a + s[0] + len(m) + q.b
+	}
+	return total
+}
+
+func appendGrowth(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append to out in a graph-scale loop without capacity evidence"
+	}
+	return out
+}
+
+// A 3-arg make before the loop is capacity evidence: growth is amortized.
+func appendPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Appending to a parameter is the caller's business: it may have preallocated.
+func appendToParam(dst, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// The pooled-scratch grow path: allocation under a cap/len/nil guard.
+func pooledGrow(xs []int, scratch []int) int {
+	total := 0
+	for _, x := range xs {
+		if cap(scratch) < x {
+			scratch = make([]int, x)
+		}
+		total += len(scratch)
+	}
+	return total
+}
+
+func storedClosure(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int { return x } // want "closure stored inside a graph-scale loop"
+		total += f()
+	}
+	return total
+}
+
+// A literal passed straight as a call argument is the VisitNeighbors
+// callback idiom and stays clean.
+func callbackLiteral(xs []int) int {
+	total := 0
+	for range xs {
+		each(xs, func(v int) { total += v })
+	}
+	return total
+}
+
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+func boxes(xs []int) {
+	for _, x := range xs {
+		sink(x) // want "argument boxed into an interface"
+	}
+}
+
+func sink(v any) { _ = v }
+
+// A return exits the loop: the fmt.Errorf box happens at most once.
+func errorPath(xs []int) error {
+	for i, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative weight at %d", i)
+		}
+	}
+	return nil
+}
+
+// Same for a panic path.
+func panicPath(xs []int) {
+	for i, x := range xs {
+		if x < 0 {
+			panic(fmt.Sprintf("negative weight at %d", i))
+		}
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return new([]int) }}
+
+// Pool traffic is the idiom itself: Get/Put are exempt from boxing.
+func pooled(xs []int) int {
+	total := 0
+	for range xs {
+		buf := scratchPool.Get().(*[]int)
+		total += cap(*buf)
+		scratchPool.Put(buf)
+	}
+	return total
+}
+
+// Constant trip counts are not graph-scale.
+func smallLoop() int {
+	total := 0
+	for i := 0; i < 8; i++ {
+		buf := make([]int, 4)
+		total += len(buf)
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package other is outside hotalloc's scope (not a solver or graph
+// package): per-iteration allocation here is not the analyzer's business.
+package other
+
+func alloc(xs []int) [][]int {
+	var out [][]int
+	for _, x := range xs {
+		out = append(out, make([]int, x))
+	}
+	return out
+}

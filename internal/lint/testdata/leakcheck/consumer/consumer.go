@@ -1,0 +1,22 @@
+// Package consumer imports use.Open's AcquiresFact: the release obligation
+// crossed the package boundary with the handle.
+package consumer
+
+import "leak.example/use"
+
+func leakViaWrapper(p string) int {
+	m, err := use.Open(p) // want "handle acquired by Open is acquired but never released"
+	if err != nil {
+		return 0
+	}
+	return m.Len()
+}
+
+func cleanViaWrapper(p string) (int, error) {
+	m, err := use.Open(p)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	return m.Len(), nil
+}

@@ -1,0 +1,3 @@
+module leak.example
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package dataio is a stub of the real mmap package: OpenMapped returns a
+// handle that pins address space until Close.
+package dataio
+
+type Mapped struct{ n int }
+
+func (m *Mapped) Close() error { return nil }
+func (m *Mapped) Len() int     { return m.n }
+
+func OpenMapped(path string) (*Mapped, error) {
+	return &Mapped{n: len(path)}, nil
+}

@@ -1,0 +1,59 @@
+// Package serve exercises the serve-only goroutine rule: every go
+// statement needs a stop or completion signal.
+package serve
+
+import "context"
+
+func work() {}
+
+func unstoppable() {
+	go func() { // want "goroutine has no stop or completion signal"
+		for {
+			work()
+		}
+	}()
+}
+
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Named same-package callees are checked through their declaration.
+func runSpin() {
+	go spin() // want "goroutine has no stop or completion signal"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func runPump(stop chan struct{}) {
+	go pump(stop)
+}
+
+func pump(stop chan struct{}) {
+	for range stop {
+	}
+}
+
+// Working under a context counts: the cancel func is the stop signal, and
+// leakcheck separately guarantees it cannot be dropped.
+func runWatch(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	_ = ctx
+	work()
+}

@@ -1,0 +1,84 @@
+// Package use exercises the in-function acquire/release balance and the
+// AcquiresFact export path.
+package use
+
+import (
+	"time"
+
+	"leak.example/internal/dataio"
+)
+
+// Used via a method but never closed: a leak.
+func leaky(p string) (int, error) {
+	m, err := dataio.OpenMapped(p) // want "mapped file .* is acquired but never released"
+	if err != nil {
+		return 0, err
+	}
+	return m.Len(), nil
+}
+
+func deferred(p string) (int, error) {
+	m, err := dataio.OpenMapped(p)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	return m.Len(), nil
+}
+
+// Open acquires on its caller's behalf: returning the handle exports
+// AcquiresFact so the obligation follows it across the package boundary.
+func Open(p string) (*dataio.Mapped, error) {
+	m, err := dataio.OpenMapped(p)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type holder struct{ m *dataio.Mapped }
+
+// Storing the handle transfers ownership: the holder releases it later.
+func storeTransfer(p string) (*holder, error) {
+	m, err := dataio.OpenMapped(p)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{m: m}, nil
+}
+
+func tickLeak(d time.Duration) {
+	t := time.NewTicker(d) // want "time.Ticker .* is acquired but never released"
+	<-t.C
+}
+
+func tickClean(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// Discarding the obligation outright is always a finding.
+func discardRelease(p string) {
+	_, _ = dataio.OpenMapped(p) // want "release obligation discarded: the mapped file .* assigned to _"
+}
+
+func bareAcquire(d time.Duration) {
+	time.NewTicker(d) // want "release obligation discarded: the time.Ticker .* never bound"
+}
+
+// pin models the memory manager's release-func idiom.
+func pin() func() { return func() {} }
+
+func pinLeak() int {
+	release := pin() // want "release func .* is acquired but never released"
+	if release == nil {
+		return 0
+	}
+	return 1
+}
+
+func pinClean() {
+	release := pin()
+	defer release()
+}

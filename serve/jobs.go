@@ -316,6 +316,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		}
+		//lint:allow ctxflow -- detached on purpose: an accepted async job outlives its submitting HTTP request; cancellation comes from DELETE /v1/jobs/{id} or Server.Close via j.cancel, not from the request context
 		ctx, cancel := context.WithCancel(context.Background())
 		j := &job{req: req, g1: g1, g2: g2, unpin: unpin, r1: r1, r2: r2, ctx: ctx, cancel: cancel,
 			status: jobQueued}
